@@ -1,0 +1,61 @@
+//! Ablation — the Section 3 design point: piggybacking the verified
+//! sequences onto the sort's own messages vs shipping them separately.
+//!
+//! The paper's claim: piggybacking gives fault tolerance with *no increase
+//! in message complexity*. The separate-shipping strawman performs the
+//! identical checks but pays one extra message startup per exchange step,
+//! and `S_NR` anchors the no-checking floor.
+
+use aoft_bench::{bench_engine, random_blocks};
+use aoft_sort::{SftProgram, Shipping, SnrProgram};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_piggybacking");
+    group.warm_up_time(std::time::Duration::from_secs_f64(1.0));
+    group.measurement_time(std::time::Duration::from_secs_f64(2.0));
+    group.sample_size(10);
+    for dim in 3..=5u32 {
+        let nodes = 1usize << dim;
+        let engine = bench_engine(dim);
+        let blocks = random_blocks(dim, 4, 0x1989);
+
+        group.bench_with_input(BenchmarkId::new("snr_floor", nodes), &nodes, |b, _| {
+            let program = SnrProgram::new(blocks.clone());
+            b.iter(|| {
+                let report = engine.run(&program);
+                assert!(!report.is_fail_stop());
+                report.metrics().elapsed()
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("sft_piggybacked", nodes),
+            &nodes,
+            |b, _| {
+                let program = SftProgram::new(blocks.clone());
+                b.iter(|| {
+                    let report = engine.run(&program);
+                    assert!(!report.is_fail_stop());
+                    report.metrics().elapsed()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sft_separate", nodes),
+            &nodes,
+            |b, _| {
+                let program =
+                    SftProgram::new(blocks.clone()).with_shipping(Shipping::Separate);
+                b.iter(|| {
+                    let report = engine.run(&program);
+                    assert!(!report.is_fail_stop());
+                    report.metrics().elapsed()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

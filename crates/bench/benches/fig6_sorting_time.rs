@@ -1,0 +1,48 @@
+//! Figure 6 — end-to-end sorting, one key per node, N ∈ {4, 8, 16, 32}.
+//!
+//! Criterion measures the reproduction's wall-clock cost per simulated run;
+//! the tick-denominated figure itself comes from `experiments -- fig6`.
+
+use aoft_bench::{bench_engine, random_blocks};
+use aoft_sort::{host, SftProgram, SnrProgram};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_sorting_time");
+    group.warm_up_time(std::time::Duration::from_secs_f64(1.0));
+    group.measurement_time(std::time::Duration::from_secs_f64(2.0));
+    group.sample_size(10);
+    for dim in 2..=5u32 {
+        let nodes = 1usize << dim;
+        let engine = bench_engine(dim);
+        let blocks = random_blocks(dim, 1, 0x1989);
+
+        group.bench_with_input(BenchmarkId::new("S_NR", nodes), &nodes, |b, _| {
+            let program = SnrProgram::new(blocks.clone());
+            b.iter(|| {
+                let report = engine.run(&program);
+                assert!(!report.is_fail_stop());
+                report.metrics().elapsed()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("S_FT", nodes), &nodes, |b, _| {
+            let program = SftProgram::new(blocks.clone());
+            b.iter(|| {
+                let report = engine.run(&program);
+                assert!(!report.is_fail_stop());
+                report.metrics().elapsed()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("host-seq", nodes), &nodes, |b, _| {
+            b.iter(|| {
+                let report = host::sequential(&engine, blocks.clone());
+                assert!(!report.is_fail_stop());
+                report.metrics().elapsed()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

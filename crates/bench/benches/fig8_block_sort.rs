@@ -1,0 +1,39 @@
+//! Figure 8 — block bitonic sort/merge, `m` keys per node, vs host sorting.
+
+use aoft_bench::{bench_engine, random_blocks};
+use aoft_sort::{host, SftProgram};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_block_sort");
+    group.warm_up_time(std::time::Duration::from_secs_f64(1.0));
+    group.measurement_time(std::time::Duration::from_secs_f64(2.0));
+    group.sample_size(10);
+    let dim = 4u32; // 16 nodes, the mid-range machine of Figure 8
+    let engine = bench_engine(dim);
+    for m in [16usize, 64, 256] {
+        let blocks = random_blocks(dim, m, 0x1989);
+        let keys = (1usize << dim) * m;
+        group.throughput(Throughput::Elements(keys as u64));
+
+        group.bench_with_input(BenchmarkId::new("S_FT", m), &m, |b, _| {
+            let program = SftProgram::new(blocks.clone());
+            b.iter(|| {
+                let report = engine.run(&program);
+                assert!(!report.is_fail_stop());
+                report.metrics().elapsed()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("host-seq", m), &m, |b, _| {
+            b.iter(|| {
+                let report = host::sequential(&engine, blocks.clone());
+                assert!(!report.is_fail_stop());
+                report.metrics().elapsed()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Lemma 8 — `bit_compare` (Φ_P + Φ_F) runs in `O(2^i)` time at stage `i`.
+//!
+//! The bench sweeps the stage index and measures the predicate composition
+//! on realistic in-memory buffers; time should double per stage.
+
+use aoft_hypercube::NodeId;
+use aoft_sort::predicates::{bit_compare_stage, phi_f, phi_p_stage};
+use aoft_sort::{Block, LbsBuffer};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+/// Builds the honest (LBS, LLBS) pair a node holds at the end of `stage` on
+/// a machine of `nodes` nodes: LLBS bitonic per half-subcube, LBS the sorted
+/// merge per subcube.
+fn honest_buffers(nodes: usize, stage: u32) -> (LbsBuffer, LbsBuffer) {
+    let mut llbs = LbsBuffer::new(nodes, 1);
+    let mut lbs = LbsBuffer::new(nodes, 1);
+    let span = 1usize << (stage + 1);
+    for start in (0..nodes).step_by(span) {
+        // Values within the span: an ascending-then-descending bitonic
+        // sequence for LBS (the stage's collected view), and a per-half
+        // bitonic arrangement for LLBS that is a permutation of it.
+        let half = span / 2;
+        let mut values: Vec<i32> = (0..span as i32).collect();
+        values[half..].reverse();
+        for (off, v) in values.iter().enumerate() {
+            lbs.set(NodeId::new((start + off) as u32), Block::new(vec![*v]));
+        }
+        // LLBS: each half holds the same multiset as the corresponding LBS
+        // half, arranged bitonically within its own half-subcube.
+        for half_start in [0, half] {
+            let mut half_vals: Vec<i32> = (half_start..half_start + half)
+                .map(|off| values[off])
+                .collect();
+            half_vals.sort_unstable();
+            let q = half / 2;
+            if q > 0 {
+                half_vals[q..].reverse();
+            }
+            // Arrange so the half's own halves are monotone per direction.
+            for (off, v) in half_vals.iter().enumerate() {
+                llbs.set(
+                    NodeId::new((start + half_start + off) as u32),
+                    Block::new(vec![*v]),
+                );
+            }
+        }
+    }
+    (lbs, llbs)
+}
+
+fn predicates(c: &mut Criterion) {
+    let nodes = 1usize << 10;
+
+    let mut group = c.benchmark_group("lemma8_bit_compare");
+    group.warm_up_time(std::time::Duration::from_secs_f64(0.5));
+    group.measurement_time(std::time::Duration::from_secs_f64(1.0));
+    for stage in 1..=9u32 {
+        let (lbs, llbs) = honest_buffers(nodes, stage);
+        let me = NodeId::new(0);
+        let span = aoft_hypercube::Subcube::home(stage + 1, me);
+        group.throughput(Throughput::Elements(1 << (stage + 1)));
+
+        group.bench_with_input(BenchmarkId::new("phi_p", stage), &stage, |b, &stage| {
+            b.iter(|| phi_p_stage(&lbs, span, stage).is_ok());
+        });
+        group.bench_with_input(BenchmarkId::new("phi_f", stage), &stage, |b, &stage| {
+            let my_half = aoft_hypercube::Subcube::home(stage, me);
+            b.iter(|| phi_f(&lbs, &llbs, my_half, stage).is_ok());
+        });
+        group.bench_with_input(
+            BenchmarkId::new("bit_compare", stage),
+            &stage,
+            |b, &stage| {
+                b.iter(|| bit_compare_stage(&lbs, &llbs, me, stage).is_ok());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, predicates);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Lemma 7 — `vect_mask(i, j)` runs in `O(2^{i−j})` time.
+//!
+//! Benchmarks the paper's recursion against the closed form across the
+//! step distance `i − j`; both should double per unit of distance, with the
+//! closed form ahead by a constant factor.
+
+use aoft_hypercube::NodeId;
+use aoft_sort::predicates::{vect_mask, vect_mask_recursive};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn vect_mask_bench(c: &mut Criterion) {
+    let nodes = 1usize << 12;
+    let stage = 11u32;
+    let node = NodeId::new(0b1010_0110_1001);
+
+    let mut group = c.benchmark_group("lemma7_vect_mask");
+    group.warm_up_time(std::time::Duration::from_secs_f64(0.5));
+    group.measurement_time(std::time::Duration::from_secs_f64(1.0));
+    for step in (0..=stage).rev() {
+        let distance = stage - step;
+        group.throughput(Throughput::Elements(1u64 << (distance + 1)));
+        group.bench_with_input(
+            BenchmarkId::new("recursive", distance),
+            &step,
+            |b, &step| {
+                b.iter(|| vect_mask_recursive(nodes, stage, step, node).len());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("closed_form", distance),
+            &step,
+            |b, &step| {
+                b.iter(|| vect_mask(nodes, stage, step, node).len());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, vect_mask_bench);
+criterion_main!(benches);

@@ -1,0 +1,288 @@
+//! Blocks: the `m` keys a node holds in the block bitonic sort/merge.
+//!
+//! Section 5's extension keeps `m` elements per node; the one-element case
+//! is just `m = 1`. A block's keys are always maintained in ascending order
+//! locally — inter-node order (ascending or descending region) is expressed
+//! at block granularity, so a "descending" subcube means every key of node
+//! `k` is ≥ every key of node `k+1`, with each node's block still internally
+//! ascending.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Key;
+
+/// The sorted keys held by one node.
+///
+/// # Examples
+///
+/// ```
+/// use aoft_sort::Block;
+///
+/// let block = Block::from_unsorted(vec![5, 1, 3]);
+/// assert!(block.is_sorted());
+/// assert_eq!(block.keys(), &[1, 3, 5]);
+/// assert_eq!(block.len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Block {
+    keys: Vec<Key>,
+}
+
+impl Block {
+    /// Wraps keys that are already sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` is not sorted — use
+    /// [`from_unsorted`](Block::from_unsorted) for raw data.
+    pub fn new(keys: Vec<Key>) -> Self {
+        assert!(
+            keys.windows(2).all(|w| w[0] <= w[1]),
+            "Block::new requires sorted keys"
+        );
+        Self { keys }
+    }
+
+    /// Sorts `keys` and wraps them.
+    pub fn from_unsorted(mut keys: Vec<Key>) -> Self {
+        keys.sort_unstable();
+        Self { keys }
+    }
+
+    /// Wraps keys *without* checking sortedness.
+    ///
+    /// Only for representing possibly-corrupted wire data; every honest
+    /// construction should go through [`new`](Block::new) or
+    /// [`from_unsorted`](Block::from_unsorted).
+    pub fn from_wire(keys: Vec<Key>) -> Self {
+        Self { keys }
+    }
+
+    /// The keys, in stored order.
+    pub fn keys(&self) -> &[Key] {
+        &self.keys
+    }
+
+    /// Number of keys (`m`).
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` if the block holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// `true` if the stored keys are ascending (the local invariant every
+    /// honest node maintains; predicates re-check it on received data).
+    pub fn is_sorted(&self) -> bool {
+        self.keys.windows(2).all(|w| w[0] <= w[1])
+    }
+
+    /// Smallest key.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty block.
+    pub fn min(&self) -> Key {
+        *self.keys.first().expect("non-empty block")
+    }
+
+    /// Largest key.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty block.
+    pub fn max(&self) -> Key {
+        *self.keys.last().expect("non-empty block")
+    }
+
+    /// Consumes the block, yielding its keys.
+    pub fn into_keys(self) -> Vec<Key> {
+        self.keys
+    }
+
+    /// The compare-exchange of the block bitonic sort (merge-split).
+    ///
+    /// Merges `self` with `other` and splits the result in half: returns
+    /// `(low, high)` where `low` holds the `m` smallest and `high` the `m`
+    /// largest keys. For `m = 1` this is exactly the paper's
+    /// `(min(x,y), max(x,y))` compare-exchange.
+    ///
+    /// The cost is `2m` comparisons and `2m` moves; callers charge it via
+    /// [`merge_split_cost`](Block::merge_split_cost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blocks differ in size.
+    pub fn merge_split(&self, other: &Block) -> (Block, Block) {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "merge-split requires equal block sizes"
+        );
+        let m = self.len();
+        let mut merged = Vec::with_capacity(2 * m);
+        let (mut a, mut b) = (self.keys.iter().peekable(), other.keys.iter().peekable());
+        while let (Some(&&x), Some(&&y)) = (a.peek(), b.peek()) {
+            if x <= y {
+                merged.push(x);
+                a.next();
+            } else {
+                merged.push(y);
+                b.next();
+            }
+        }
+        merged.extend(a.copied());
+        merged.extend(b.copied());
+        let high = merged.split_off(m);
+        (Block { keys: merged }, Block { keys: high })
+    }
+
+    /// Comparison and move counts charged for one merge-split of blocks of
+    /// `m` keys: `(compares, moves)`.
+    pub fn merge_split_cost(m: usize) -> (usize, usize) {
+        (2 * m, 2 * m)
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.keys)
+    }
+}
+
+impl FromIterator<Key> for Block {
+    /// Collects and sorts.
+    fn from_iter<I: IntoIterator<Item = Key>>(iter: I) -> Self {
+        Self::from_unsorted(iter.into_iter().collect())
+    }
+}
+
+/// Splits `keys` into `nodes` equal blocks (node 0 first), sorting each.
+///
+/// This is the initial data layout: keys are "already in the node
+/// processors" (Section 1), `m = keys.len() / nodes` per node.
+///
+/// # Panics
+///
+/// Panics if `keys.len()` is not divisible by `nodes` or `nodes` is zero.
+pub fn distribute(keys: &[Key], nodes: usize) -> Vec<Block> {
+    assert!(nodes > 0, "at least one node");
+    assert_eq!(
+        keys.len() % nodes,
+        0,
+        "{} keys do not divide over {nodes} nodes",
+        keys.len()
+    );
+    let m = keys.len() / nodes;
+    keys.chunks(m)
+        .map(|chunk| Block::from_unsorted(chunk.to_vec()))
+        .collect()
+}
+
+/// Concatenates per-node blocks back into one key vector (node 0 first).
+pub fn collect(blocks: &[Block]) -> Vec<Key> {
+    blocks.iter().flat_map(|b| b.keys().iter().copied()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_accepts_sorted() {
+        let b = Block::new(vec![1, 2, 2, 9]);
+        assert_eq!(b.min(), 1);
+        assert_eq!(b.max(), 9);
+        assert_eq!(b.len(), 4);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires sorted")]
+    fn new_rejects_unsorted() {
+        Block::new(vec![2, 1]);
+    }
+
+    #[test]
+    fn from_unsorted_sorts() {
+        let b = Block::from_unsorted(vec![9, -3, 7]);
+        assert_eq!(b.keys(), &[-3, 7, 9]);
+    }
+
+    #[test]
+    fn from_wire_preserves_garbage() {
+        let b = Block::from_wire(vec![5, 1]);
+        assert!(!b.is_sorted());
+        assert_eq!(b.into_keys(), vec![5, 1]);
+    }
+
+    #[test]
+    fn merge_split_scalar_is_min_max() {
+        let x = Block::new(vec![7]);
+        let y = Block::new(vec![3]);
+        let (low, high) = x.merge_split(&y);
+        assert_eq!(low.keys(), &[3]);
+        assert_eq!(high.keys(), &[7]);
+    }
+
+    #[test]
+    fn merge_split_blocks() {
+        let x = Block::new(vec![1, 4, 8]);
+        let y = Block::new(vec![2, 3, 9]);
+        let (low, high) = x.merge_split(&y);
+        assert_eq!(low.keys(), &[1, 2, 3]);
+        assert_eq!(high.keys(), &[4, 8, 9]);
+        assert!(low.is_sorted() && high.is_sorted());
+    }
+
+    #[test]
+    fn merge_split_with_duplicates() {
+        let x = Block::new(vec![2, 2]);
+        let y = Block::new(vec![2, 2]);
+        let (low, high) = x.merge_split(&y);
+        assert_eq!(low.keys(), &[2, 2]);
+        assert_eq!(high.keys(), &[2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal block sizes")]
+    fn merge_split_size_mismatch_panics() {
+        Block::new(vec![1]).merge_split(&Block::new(vec![1, 2]));
+    }
+
+    #[test]
+    fn merge_split_cost_counts() {
+        assert_eq!(Block::merge_split_cost(4), (8, 8));
+    }
+
+    #[test]
+    fn distribute_and_collect_round_trip() {
+        let keys = vec![9, 1, 5, 3, 8, 2, 7, 4];
+        let blocks = distribute(&keys, 4);
+        assert_eq!(blocks.len(), 4);
+        assert!(blocks.iter().all(|b| b.len() == 2 && b.is_sorted()));
+        // Collect returns each node's sorted chunk in node order.
+        assert_eq!(collect(&blocks), vec![1, 9, 3, 5, 2, 8, 4, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not divide")]
+    fn distribute_requires_divisibility() {
+        distribute(&[1, 2, 3], 2);
+    }
+
+    #[test]
+    fn from_iterator_sorts() {
+        let b: Block = [3, 1, 2].into_iter().collect();
+        assert_eq!(b.keys(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Block::new(vec![1, 2]).to_string(), "[1, 2]");
+    }
+}

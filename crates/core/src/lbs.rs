@@ -1,0 +1,238 @@
+//! The `LBS` / `LLBS` bookkeeping of Figure 3.
+//!
+//! Each `S_FT` node maintains two distributed-sequence buffers:
+//!
+//! * `LBS` — the *last bitonic sequence*: the values that entered the current
+//!   stage, collected entry by entry from the piggybacked messages;
+//! * `LLBS` — the previous stage's fully-collected sequence, the reference
+//!   against which feasibility (Φ_F) is checked.
+//!
+//! A buffer holds one optional [`Block`] per node of the machine plus the
+//! held-entry mask (`lmask` in the paper's pseudocode, generalized from a
+//! machine word to a [`NodeSet`]).
+
+use aoft_hypercube::{NodeId, NodeSet, Subcube};
+
+use crate::msg::LbsWire;
+use crate::{subcube_ascending, Block, Key};
+
+/// One node's view of a distributed (bitonic) sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LbsBuffer {
+    entries: Vec<Option<Block>>,
+    held: NodeSet,
+    block_len: u32,
+}
+
+impl LbsBuffer {
+    /// An empty buffer for a machine of `nodes` nodes holding blocks of
+    /// `block_len` keys.
+    pub fn new(nodes: usize, block_len: u32) -> Self {
+        Self {
+            entries: vec![None; nodes],
+            held: NodeSet::empty(nodes),
+            block_len,
+        }
+    }
+
+    /// Keys per block (`m`).
+    pub fn block_len(&self) -> u32 {
+        self.block_len
+    }
+
+    /// The mask of held entries (the paper's `lmask`).
+    pub fn held(&self) -> &NodeSet {
+        &self.held
+    }
+
+    /// The entry owned by `node`, if held.
+    pub fn get(&self, node: NodeId) -> Option<&Block> {
+        self.entries[node.index()].as_ref()
+    }
+
+    /// Stores `node`'s entry (the paper's `LBS[k] := lbuf[k]`).
+    pub fn set(&mut self, node: NodeId, block: Block) {
+        self.held.insert(node);
+        self.entries[node.index()] = Some(block);
+    }
+
+    /// `true` if `node`'s entry is held.
+    pub fn holds(&self, node: NodeId) -> bool {
+        self.held.contains(node)
+    }
+
+    /// `true` if every entry of `span` is held.
+    pub fn covers(&self, span: Subcube) -> bool {
+        span.iter().all(|node| self.holds(node))
+    }
+
+    /// Drops everything and re-seeds with this node's own entry — the
+    /// paper's end-of-stage `LBS[node] := a; lmask := 2^node`.
+    pub fn reset_to_self(&mut self, me: NodeId, own: Block) {
+        for e in &mut self.entries {
+            *e = None;
+        }
+        self.held.clear();
+        self.set(me, own);
+    }
+
+    /// Serializes the entries of `span` for piggybacking — the full-span
+    /// array the paper transmits with every exchange.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span` extends past the machine.
+    pub fn to_wire(&self, span: Subcube) -> LbsWire {
+        assert!(
+            span.end().index() < self.entries.len(),
+            "span {span} exceeds machine size {}",
+            self.entries.len()
+        );
+        LbsWire {
+            span_start: span.start().raw(),
+            block_len: self.block_len,
+            slots: span
+                .iter()
+                .map(|node| self.entries[node.index()].clone())
+                .collect(),
+        }
+    }
+
+    /// Flattens the entries of `span` into one ascending key sequence,
+    /// honouring the subcube's sort direction.
+    ///
+    /// After its stage completes, `span` is monotone *at block granularity*
+    /// (every key of one node bounds every key of the next), with each block
+    /// internally ascending. Ascending subcubes flatten in node order;
+    /// descending subcubes flatten in reverse node order (each block still
+    /// forward). Either way the result is globally ascending exactly when
+    /// the distributed sequence satisfied its invariant — which is how the
+    /// predicates check Φ_P.
+    ///
+    /// Returns `None` if any entry of the span is missing.
+    pub fn flatten_ascending(&self, span: Subcube) -> Option<Vec<Key>> {
+        let mut out = Vec::with_capacity(span.len() * self.block_len as usize);
+        let ascending = subcube_ascending(span);
+        let mut push = |node: NodeId| -> Option<()> {
+            out.extend_from_slice(self.get(node)?.keys());
+            Some(())
+        };
+        if ascending {
+            for node in span.iter() {
+                push(node)?;
+            }
+        } else {
+            for node in span.iter().rev() {
+                push(node)?;
+            }
+        }
+        Some(out)
+    }
+
+    /// Promotes this buffer into the `LLBS` role by cloning (the paper's
+    /// end-of-stage `LLBS[m] := LBS[m]` copy loop).
+    pub fn snapshot(&self) -> LbsBuffer {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(keys: &[Key]) -> Block {
+        Block::new(keys.to_vec())
+    }
+
+    #[test]
+    fn set_get_holds() {
+        let mut buf = LbsBuffer::new(8, 1);
+        assert!(!buf.holds(NodeId::new(3)));
+        buf.set(NodeId::new(3), block(&[7]));
+        assert!(buf.holds(NodeId::new(3)));
+        assert_eq!(buf.get(NodeId::new(3)).unwrap().keys(), &[7]);
+        assert_eq!(buf.held().len(), 1);
+        assert_eq!(buf.block_len(), 1);
+    }
+
+    #[test]
+    fn covers_span() {
+        let mut buf = LbsBuffer::new(8, 1);
+        let span = Subcube::home(1, NodeId::new(2)); // {2, 3}
+        buf.set(NodeId::new(2), block(&[1]));
+        assert!(!buf.covers(span));
+        buf.set(NodeId::new(3), block(&[2]));
+        assert!(buf.covers(span));
+    }
+
+    #[test]
+    fn reset_to_self_clears_everything_else() {
+        let mut buf = LbsBuffer::new(4, 1);
+        buf.set(NodeId::new(0), block(&[1]));
+        buf.set(NodeId::new(1), block(&[2]));
+        buf.reset_to_self(NodeId::new(2), block(&[9]));
+        assert_eq!(buf.held().len(), 1);
+        assert!(buf.holds(NodeId::new(2)));
+        assert!(buf.get(NodeId::new(0)).is_none());
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let mut buf = LbsBuffer::new(8, 2);
+        buf.set(NodeId::new(4), block(&[1, 2]));
+        buf.set(NodeId::new(6), block(&[3, 4]));
+        let span = Subcube::home(2, NodeId::new(5)); // 4..=7
+        let wire = buf.to_wire(span);
+        assert_eq!(wire.span_start, 4);
+        assert_eq!(wire.slots.len(), 4);
+        assert_eq!(wire.filled(), 2);
+        assert_eq!(wire.get(NodeId::new(6)).unwrap().keys(), &[3, 4]);
+        assert!(wire.get(NodeId::new(5)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds machine size")]
+    fn wire_span_out_of_range_panics() {
+        LbsBuffer::new(4, 1).to_wire(Subcube::home(3, NodeId::new(0)));
+    }
+
+    #[test]
+    fn flatten_ascending_subcube() {
+        // SC(dim=1) starting at node 0: bit 1 of start = 0 -> ascending.
+        let mut buf = LbsBuffer::new(4, 2);
+        buf.set(NodeId::new(0), block(&[1, 3]));
+        buf.set(NodeId::new(1), block(&[5, 9]));
+        let span = Subcube::home(1, NodeId::new(0));
+        assert_eq!(buf.flatten_ascending(span).unwrap(), vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn flatten_descending_subcube_reverses_nodes() {
+        // SC(dim=1) starting at node 2: bit 1 of start = 1 -> descending.
+        // Node 2 holds the large keys, node 3 the small ones; blocks stay
+        // internally ascending.
+        let mut buf = LbsBuffer::new(4, 2);
+        buf.set(NodeId::new(2), block(&[5, 9]));
+        buf.set(NodeId::new(3), block(&[1, 3]));
+        let span = Subcube::home(1, NodeId::new(2));
+        assert_eq!(buf.flatten_ascending(span).unwrap(), vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn flatten_missing_entry_is_none() {
+        let mut buf = LbsBuffer::new(4, 1);
+        buf.set(NodeId::new(0), block(&[1]));
+        assert!(buf
+            .flatten_ascending(Subcube::home(1, NodeId::new(0)))
+            .is_none());
+    }
+
+    #[test]
+    fn snapshot_is_deep() {
+        let mut buf = LbsBuffer::new(4, 1);
+        buf.set(NodeId::new(1), block(&[4]));
+        let snap = buf.snapshot();
+        buf.set(NodeId::new(1), block(&[5]));
+        assert_eq!(snap.get(NodeId::new(1)).unwrap().keys(), &[4]);
+    }
+}

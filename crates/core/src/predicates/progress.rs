@@ -1,0 +1,212 @@
+//! Φ_P, the progress predicate (Figure 4a).
+//!
+//! At the end of stage `i`, the sequence that entered the stage has been
+//! fully distributed over the home subcube `SC_{i+1}` and must be bitonic:
+//! its lower half `SC_i` ascending and its upper half descending (always in
+//! that orientation — lower halves sort ascending, upper halves descending,
+//! by the direction rule of [`subcube_ascending`](crate::subcube_ascending)).
+//! After the final pure-exchange stage the full sequence must simply be
+//! sorted.
+//!
+//! Checks operate on the block-granular flattening: a subcube's entries
+//! flatten to one ascending key sequence exactly when every block is
+//! internally sorted *and* consecutive blocks are ordered in the subcube's
+//! direction — so a single `is_sorted` scan checks both at once, in the
+//! `O(2^i)` time of Lemma 8.
+
+use aoft_hypercube::Subcube;
+
+use crate::{LbsBuffer, Violation};
+
+/// Structural prelude shared by both Φ_P forms: every entry of `span` must
+/// be present with exactly `m` keys.
+fn check_blocks(buf: &LbsBuffer, span: Subcube, stage: u32) -> Result<(), Violation> {
+    for node in span.iter() {
+        match buf.get(node) {
+            None => {
+                return Err(Violation::IncompleteSequence { stage, entry: node });
+            }
+            Some(block) if block.len() != buf.block_len() as usize => {
+                return Err(Violation::MalformedBlock {
+                    stage,
+                    expected: buf.block_len(),
+                    got: block.len() as u32,
+                });
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(())
+}
+
+/// Φ_P at the end of stage `stage`: the sequence distributed over `span`
+/// (= `SC_{stage+1}`) must be ascending over its lower half and descending
+/// over its upper half.
+///
+/// # Errors
+///
+/// * [`Violation::IncompleteSequence`] — an entry of the span was never
+///   collected;
+/// * [`Violation::MalformedBlock`] — an entry has the wrong number of keys;
+/// * [`Violation::NonBitonic`] — the orientation check failed.
+///
+/// # Panics
+///
+/// Panics if `span` has dimension zero (a one-node span has no halves).
+pub fn phi_p_stage(buf: &LbsBuffer, span: Subcube, stage: u32) -> Result<(), Violation> {
+    check_blocks(buf, span, stage)?;
+    let (low, high) = span.halves();
+    for half in [low, high] {
+        let flat = buf
+            .flatten_ascending(half)
+            .expect("coverage checked above");
+        if !crate::bitonic::is_monotone(&flat, true) {
+            return Err(Violation::NonBitonic { stage });
+        }
+    }
+    Ok(())
+}
+
+/// Φ_P after the final verification stage: the full output over `span`
+/// (= the whole cube) must be sorted ascending.
+///
+/// This is the `if (i ≠ n)` branch of Figure 4a: at the last check there is
+/// no descending half.
+///
+/// # Errors
+///
+/// As for [`phi_p_stage`], with [`Violation::NonBitonic`] reported when the
+/// output is not fully sorted.
+pub fn phi_p_final(buf: &LbsBuffer, span: Subcube, stage: u32) -> Result<(), Violation> {
+    check_blocks(buf, span, stage)?;
+    let flat = buf
+        .flatten_ascending(span)
+        .expect("coverage checked above");
+    if !crate::bitonic::is_monotone(&flat, true) {
+        return Err(Violation::NonBitonic { stage });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use aoft_hypercube::NodeId;
+
+    use super::*;
+    use crate::Block;
+
+    fn buffer(values: &[&[i32]]) -> LbsBuffer {
+        let m = values[0].len() as u32;
+        let mut buf = LbsBuffer::new(values.len(), m);
+        for (i, keys) in values.iter().enumerate() {
+            buf.set(NodeId::new(i as u32), Block::from_wire(keys.to_vec()));
+        }
+        buf
+    }
+
+    #[test]
+    fn accepts_ascending_then_descending() {
+        // Stage 1 output over SC_2 {0..3}: lower half ascending, upper
+        // descending.
+        let buf = buffer(&[&[1], &[5], &[9], &[4]]);
+        let span = Subcube::home(2, NodeId::new(0));
+        assert_eq!(phi_p_stage(&buf, span, 1), Ok(()));
+    }
+
+    #[test]
+    fn rejects_broken_lower_half() {
+        let buf = buffer(&[&[5], &[1], &[9], &[4]]);
+        let span = Subcube::home(2, NodeId::new(0));
+        assert_eq!(
+            phi_p_stage(&buf, span, 1),
+            Err(Violation::NonBitonic { stage: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_broken_upper_half() {
+        let buf = buffer(&[&[1], &[5], &[4], &[9]]);
+        let span = Subcube::home(2, NodeId::new(0));
+        assert_eq!(
+            phi_p_stage(&buf, span, 1),
+            Err(Violation::NonBitonic { stage: 1 })
+        );
+    }
+
+    #[test]
+    fn blocks_participate_in_orientation() {
+        // m = 2: descending upper half at block granularity with internally
+        // ascending blocks.
+        let buf = buffer(&[&[1, 2], &[3, 9], &[7, 8], &[4, 5]]);
+        let span = Subcube::home(2, NodeId::new(0));
+        assert_eq!(phi_p_stage(&buf, span, 1), Ok(()));
+    }
+
+    #[test]
+    fn rejects_internally_unsorted_block() {
+        let buf = buffer(&[&[2, 1], &[3, 9], &[7, 8], &[4, 5]]);
+        let span = Subcube::home(2, NodeId::new(0));
+        assert_eq!(
+            phi_p_stage(&buf, span, 1),
+            Err(Violation::NonBitonic { stage: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_missing_entry() {
+        let mut buf = buffer(&[&[1], &[5], &[9], &[4]]);
+        buf = {
+            let mut fresh = LbsBuffer::new(4, 1);
+            for i in [0u32, 1, 3] {
+                fresh.set(NodeId::new(i), buf.get(NodeId::new(i)).unwrap().clone());
+            }
+            fresh
+        };
+        let span = Subcube::home(2, NodeId::new(0));
+        assert_eq!(
+            phi_p_stage(&buf, span, 1),
+            Err(Violation::IncompleteSequence {
+                stage: 1,
+                entry: NodeId::new(2)
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_block() {
+        let mut buf = LbsBuffer::new(2, 2);
+        buf.set(NodeId::new(0), Block::new(vec![1, 2]));
+        buf.set(NodeId::new(1), Block::new(vec![3])); // one key short
+        let span = Subcube::home(1, NodeId::new(0));
+        assert_eq!(
+            phi_p_final(&buf, span, 0),
+            Err(Violation::MalformedBlock {
+                stage: 0,
+                expected: 2,
+                got: 1
+            })
+        );
+    }
+
+    #[test]
+    fn final_check_demands_full_sort() {
+        let sorted = buffer(&[&[1], &[2], &[3], &[4]]);
+        let span = Subcube::home(2, NodeId::new(0));
+        assert_eq!(phi_p_final(&sorted, span, 2), Ok(()));
+
+        // A perfectly bitonic (but unsorted) final sequence must fail.
+        let bitonic = buffer(&[&[1], &[5], &[9], &[4]]);
+        assert_eq!(
+            phi_p_final(&bitonic, span, 2),
+            Err(Violation::NonBitonic { stage: 2 })
+        );
+    }
+
+    #[test]
+    fn duplicates_are_fine() {
+        let buf = buffer(&[&[2], &[2], &[2], &[2]]);
+        let span = Subcube::home(2, NodeId::new(0));
+        assert_eq!(phi_p_stage(&buf, span, 1), Ok(()));
+        assert_eq!(phi_p_final(&buf, span, 2), Ok(()));
+    }
+}

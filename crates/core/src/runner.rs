@@ -1,0 +1,660 @@
+//! High-level API: configure a machine, pick an algorithm, sort.
+
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+use aoft_faults::FaultPlan;
+use aoft_hypercube::Hypercube;
+use aoft_sim::{CostModel, Engine, ErrorReport, RunMetrics, RunReport, SimConfig, Ticks, Trace};
+
+use crate::{block, host, Block, Key, SftProgram, SnrProgram};
+
+/// Which sorting strategy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// `S_NR` (Figure 2): fast, unreliable.
+    NonRedundant,
+    /// `S_FT` (Figure 3): constraint-predicate checked, fail-stop.
+    FaultTolerant,
+    /// Gather–sort–scatter on the host (Section 5 baseline).
+    HostSequential,
+    /// `S_NR` in the nodes, Theorem 1 verification on the host (Section 5
+    /// baseline).
+    HostVerified,
+}
+
+impl Algorithm {
+    /// All algorithms, for sweeps.
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::NonRedundant,
+        Algorithm::FaultTolerant,
+        Algorithm::HostSequential,
+        Algorithm::HostVerified,
+    ];
+
+    /// Short stable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::NonRedundant => "S_NR",
+            Algorithm::FaultTolerant => "S_FT",
+            Algorithm::HostSequential => "host-seq",
+            Algorithm::HostVerified => "host-verify",
+        }
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Requested output order (Definition 1 admits either).
+///
+/// The bitonic network itself always produces an ascending arrangement; a
+/// descending sort runs the identical schedule on order-reflected keys
+/// (`k ↦ !k`, the overflow-free two's-complement reflection) and reflects
+/// the output back, so fault coverage and costs are exactly those of the
+/// ascending sort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SortDirection {
+    /// Non-decreasing output (the default).
+    #[default]
+    Ascending,
+    /// Non-increasing output.
+    Descending,
+}
+
+/// Errors from [`SortBuilder::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SortError {
+    /// The requested configuration is unusable (sizes, divisibility, …).
+    InvalidInput(String),
+    /// The machine fail-stopped: faulty behaviour was detected and no
+    /// output was produced — the guarantee of Theorem 3, surfaced as an
+    /// error so callers cannot mistake a detection for a result.
+    Detected {
+        /// The diagnostics delivered to the host, in detection order.
+        reports: Vec<ErrorReport>,
+    },
+}
+
+impl fmt::Display for SortError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SortError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            SortError::Detected { reports } => match reports.first() {
+                Some(first) => write!(
+                    f,
+                    "fault detected, machine fail-stopped ({} report(s); first: {first})",
+                    reports.len()
+                ),
+                None => write!(f, "fault detected, machine fail-stopped"),
+            },
+        }
+    }
+}
+
+impl Error for SortError {}
+
+/// The result of a completed (non-fail-stopped) sort.
+#[derive(Debug, Clone)]
+pub struct SortReport {
+    algorithm: Algorithm,
+    output: Vec<Key>,
+    blocks: Vec<Block>,
+    metrics: RunMetrics,
+    trace: Trace,
+}
+
+impl SortReport {
+    /// The fully sorted keys, in machine order (node 0's block first).
+    pub fn output(&self) -> &[Key] {
+        &self.output
+    }
+
+    /// Per-node result blocks.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// The algorithm that ran.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// Virtual-time and traffic metrics of the run.
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// The run's virtual makespan (the quantity of Figures 6–8).
+    pub fn elapsed(&self) -> Ticks {
+        self.metrics.elapsed()
+    }
+
+    /// The event trace (empty unless tracing was enabled).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+}
+
+/// The result of a retried sort: the final report plus the fail-stop
+/// history that preceded it.
+#[derive(Debug, Clone)]
+pub struct RetryReport {
+    /// The successful run.
+    pub report: SortReport,
+    /// Attempts consumed, including the successful one.
+    pub attempts_used: usize,
+    /// The reports of each failed attempt, in order.
+    pub detections: Vec<Vec<ErrorReport>>,
+}
+
+/// Configures and runs one distributed sort.
+///
+/// Consuming builder: configure, then [`run`](SortBuilder::run).
+///
+/// # Examples
+///
+/// ```
+/// use aoft_sort::{Algorithm, SortBuilder};
+///
+/// // 16 keys over 4 nodes: blocks of m = 4.
+/// let keys: Vec<i32> = (0..16).rev().collect();
+/// let report = SortBuilder::new(Algorithm::FaultTolerant)
+///     .keys(keys)
+///     .nodes(4)
+///     .run()?;
+/// assert_eq!(report.output(), (0..16).collect::<Vec<i32>>());
+/// # Ok::<(), aoft_sort::SortError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SortBuilder {
+    algorithm: Algorithm,
+    keys: Vec<Key>,
+    nodes: Option<usize>,
+    block_size: Option<usize>,
+    cost: CostModel,
+    timeout: Duration,
+    plan: FaultPlan,
+    trace: bool,
+    direction: SortDirection,
+}
+
+impl SortBuilder {
+    /// Starts a sort configuration for `algorithm`.
+    pub fn new(algorithm: Algorithm) -> Self {
+        Self {
+            algorithm,
+            keys: Vec::new(),
+            nodes: None,
+            block_size: None,
+            cost: CostModel::default(),
+            timeout: Duration::from_secs(2),
+            plan: FaultPlan::new(),
+            trace: false,
+            direction: SortDirection::Ascending,
+        }
+    }
+
+    /// The keys to sort. With neither [`nodes`](SortBuilder::nodes) nor
+    /// [`block_size`](SortBuilder::block_size) set, one key per node.
+    pub fn keys(mut self, keys: Vec<Key>) -> Self {
+        self.keys = keys;
+        self
+    }
+
+    /// Number of hypercube nodes (must be a power of two dividing the key
+    /// count).
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.nodes = Some(nodes);
+        self
+    }
+
+    /// Keys per node (`m` of the block bitonic sort/merge).
+    pub fn block_size(mut self, m: usize) -> Self {
+        self.block_size = Some(m);
+        self
+    }
+
+    /// Virtual-time cost model (defaults to
+    /// [`CostModel::ncube_1989`]).
+    pub fn cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Real-time receive timeout (assumption 4's absence detector).
+    pub fn recv_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Byzantine faults to inject.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Enables event tracing.
+    pub fn trace(mut self, enabled: bool) -> Self {
+        self.trace = enabled;
+        self
+    }
+
+    /// Selects ascending (default) or descending output order.
+    pub fn direction(mut self, direction: SortDirection) -> Self {
+        self.direction = direction;
+        self
+    }
+
+    fn resolve_shape(&self) -> Result<(usize, usize), SortError> {
+        let len = self.keys.len();
+        if len == 0 {
+            return Err(SortError::InvalidInput("no keys to sort".into()));
+        }
+        let (nodes, m) = match (self.nodes, self.block_size) {
+            (None, None) => (len, 1),
+            (Some(n), None) => {
+                if n == 0 || len % n != 0 {
+                    return Err(SortError::InvalidInput(format!(
+                        "{len} keys do not divide over {n} nodes"
+                    )));
+                }
+                (n, len / n)
+            }
+            (None, Some(m)) => {
+                if m == 0 || len % m != 0 {
+                    return Err(SortError::InvalidInput(format!(
+                        "{len} keys do not divide into blocks of {m}"
+                    )));
+                }
+                (len / m, m)
+            }
+            (Some(n), Some(m)) => {
+                if n.checked_mul(m) != Some(len) {
+                    return Err(SortError::InvalidInput(format!(
+                        "{n} nodes × {m} keys ≠ {len} keys"
+                    )));
+                }
+                (n, m)
+            }
+        };
+        if !nodes.is_power_of_two() {
+            return Err(SortError::InvalidInput(format!(
+                "node count {nodes} is not a power of two"
+            )));
+        }
+        Ok((nodes, m))
+    }
+
+    /// Runs the configured sort.
+    ///
+    /// # Errors
+    ///
+    /// * [`SortError::InvalidInput`] — unusable configuration;
+    /// * [`SortError::Detected`] — the machine fail-stopped (for `S_FT` and
+    ///   the host-verified baseline this is the *designed* response to
+    ///   faults; for `S_NR` it only occurs on omission faults that starve a
+    ///   receive).
+    pub fn run(self) -> Result<SortReport, SortError> {
+        let (nodes, _m) = self.resolve_shape()?;
+        let dim = nodes.trailing_zeros();
+        let cube = Hypercube::new(dim)
+            .map_err(|e| SortError::InvalidInput(e.to_string()))?;
+        let config = SimConfig::new()
+            .cost_model(self.cost)
+            .recv_timeout(self.timeout)
+            .trace(self.trace);
+        let engine = Engine::new(cube, config);
+        let keys: Vec<Key> = match self.direction {
+            SortDirection::Ascending => self.keys,
+            // Order reflection: !k = -k-1 is a strictly order-reversing
+            // bijection on i32 with no overflow edge cases.
+            SortDirection::Descending => self.keys.iter().map(|k| !k).collect(),
+        };
+        let blocks = block::distribute(&keys, nodes);
+        for spec in self.plan.specs() {
+            if spec.node.index() >= nodes {
+                return Err(SortError::InvalidInput(format!(
+                    "fault plan names {} but the machine has {nodes} nodes",
+                    spec.node
+                )));
+            }
+        }
+
+        let report: RunReport<Block> = match self.algorithm {
+            Algorithm::NonRedundant => {
+                engine.run_faulty(&SnrProgram::new(blocks), self.plan.build(nodes))
+            }
+            Algorithm::FaultTolerant => {
+                engine.run_faulty(&SftProgram::new(blocks), self.plan.build(nodes))
+            }
+            Algorithm::HostSequential => host::sequential(&engine, blocks),
+            Algorithm::HostVerified => host::verified(&engine, blocks, self.plan.build(nodes)),
+        };
+
+        let metrics = report.metrics().clone();
+        let trace = report.trace().clone();
+        match report.into_outputs() {
+            Ok(outputs) => {
+                let outputs = match self.direction {
+                    SortDirection::Ascending => outputs,
+                    SortDirection::Descending => outputs
+                        .into_iter()
+                        .map(|b| {
+                            // Reflect back: each block (and the whole
+                            // machine order) becomes non-increasing.
+                            Block::from_wire(b.keys().iter().map(|k| !k).collect())
+                        })
+                        .collect(),
+                };
+                Ok(SortReport {
+                    algorithm: self.algorithm,
+                    output: block::collect(&outputs),
+                    blocks: outputs,
+                    metrics,
+                    trace,
+                })
+            }
+            Err(reports) => Err(SortError::Detected { reports }),
+        }
+    }
+
+    /// Runs the sort up to `attempts` times, re-running after each
+    /// fail-stop — the second "appropriate action" the paper's diagnostic
+    /// delivery enables. `plan_for_attempt` models the environment: it
+    /// supplies the faults active during each attempt (a transient fault
+    /// simply stops appearing; a permanent one exhausts the budget).
+    ///
+    /// The never-silently-wrong guarantee is preserved: every individual
+    /// attempt is a full `S_FT` run.
+    ///
+    /// # Errors
+    ///
+    /// * [`SortError::InvalidInput`] — unusable configuration (checked once);
+    /// * [`SortError::Detected`] — the final attempt also fail-stopped; its
+    ///   reports are returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attempts` is zero.
+    pub fn run_with_retry<F>(
+        self,
+        attempts: usize,
+        mut plan_for_attempt: F,
+    ) -> Result<RetryReport, SortError>
+    where
+        F: FnMut(usize) -> FaultPlan,
+    {
+        assert!(attempts > 0, "at least one attempt");
+        let mut detections = Vec::new();
+        for attempt in 0..attempts {
+            let run = self
+                .clone()
+                .fault_plan(plan_for_attempt(attempt))
+                .run();
+            match run {
+                Ok(report) => {
+                    return Ok(RetryReport {
+                        report,
+                        attempts_used: attempt + 1,
+                        detections,
+                    });
+                }
+                Err(SortError::Detected { reports }) if attempt + 1 < attempts => {
+                    detections.push(reports);
+                }
+                Err(err) => return Err(err),
+            }
+        }
+        unreachable!("loop returns on success or on the final error");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use aoft_faults::{FaultKind, Trigger};
+    use aoft_hypercube::NodeId;
+
+    use super::*;
+
+    #[test]
+    fn all_algorithms_sort_honest_input() {
+        let keys = vec![10, 8, 3, 9, 4, 2, 7, 5];
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        for algorithm in Algorithm::ALL {
+            let report = SortBuilder::new(algorithm)
+                .keys(keys.clone())
+                .run()
+                .unwrap_or_else(|e| panic!("{algorithm}: {e}"));
+            assert_eq!(report.output(), expected, "{algorithm}");
+            assert_eq!(report.algorithm(), algorithm);
+            assert!(report.elapsed() > Ticks::ZERO);
+        }
+    }
+
+    #[test]
+    fn block_shapes() {
+        let keys: Vec<Key> = (0..32).rev().collect();
+        let by_nodes = SortBuilder::new(Algorithm::FaultTolerant)
+            .keys(keys.clone())
+            .nodes(8)
+            .run()
+            .unwrap();
+        let by_block = SortBuilder::new(Algorithm::FaultTolerant)
+            .keys(keys.clone())
+            .block_size(4)
+            .run()
+            .unwrap();
+        assert_eq!(by_nodes.output(), by_block.output());
+        assert_eq!(by_nodes.blocks().len(), 8);
+        assert_eq!(by_nodes.blocks()[0].len(), 4);
+    }
+
+    #[test]
+    fn invalid_shapes_rejected() {
+        let err = |b: SortBuilder| match b.run() {
+            Err(SortError::InvalidInput(msg)) => msg,
+            other => panic!("expected InvalidInput, got {other:?}"),
+        };
+        assert!(err(SortBuilder::new(Algorithm::NonRedundant)).contains("no keys"));
+        assert!(err(SortBuilder::new(Algorithm::NonRedundant).keys(vec![1, 2, 3]))
+            .contains("power of two"));
+        assert!(err(SortBuilder::new(Algorithm::NonRedundant)
+            .keys(vec![1, 2, 3, 4])
+            .nodes(3))
+        .contains("not a power of two") || err(SortBuilder::new(Algorithm::NonRedundant)
+            .keys(vec![1, 2, 3, 4])
+            .nodes(3))
+        .contains("divide"));
+        assert!(err(SortBuilder::new(Algorithm::NonRedundant)
+            .keys(vec![1, 2, 3, 4])
+            .nodes(2)
+            .block_size(3))
+        .contains('≠'));
+        assert!(err(SortBuilder::new(Algorithm::NonRedundant)
+            .keys(vec![1, 2])
+            .fault_plan(FaultPlan::new().with_fault(
+                NodeId::new(7),
+                FaultKind::Crash,
+                Trigger::always(),
+                0
+            )))
+        .contains("fault plan"));
+    }
+
+    #[test]
+    fn sft_detects_injected_fault() {
+        let plan = FaultPlan::new().with_fault(
+            NodeId::new(3),
+            FaultKind::CorruptValue,
+            Trigger::from_seq(1),
+            9,
+        );
+        let result = SortBuilder::new(Algorithm::FaultTolerant)
+            .keys((0..16).rev().collect())
+            .fault_plan(plan)
+            .run();
+        match result {
+            Err(SortError::Detected { reports }) => {
+                assert!(!reports.is_empty());
+                assert_ne!(reports[0].code, 0, "a predicate fired, not a timeout");
+            }
+            other => panic!("expected detection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snr_is_silently_wrong_under_corruption() {
+        let plan = FaultPlan::new().with_fault(
+            NodeId::new(3),
+            FaultKind::CorruptValue,
+            Trigger::always(),
+            9,
+        );
+        let keys: Vec<Key> = (0..16).rev().collect();
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        let report = SortBuilder::new(Algorithm::NonRedundant)
+            .keys(keys)
+            .fault_plan(plan)
+            .run()
+            .expect("S_NR has no checks and completes");
+        assert_ne!(report.output(), expected, "the baseline silently corrupts");
+    }
+
+    #[test]
+    fn descending_sorts_all_algorithms() {
+        let keys = vec![10, 8, 3, 9, 4, 2, 7, 5];
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        expected.reverse();
+        for algorithm in Algorithm::ALL {
+            let report = SortBuilder::new(algorithm)
+                .keys(keys.clone())
+                .direction(SortDirection::Descending)
+                .run()
+                .unwrap_or_else(|e| panic!("{algorithm}: {e}"));
+            assert_eq!(report.output(), expected, "{algorithm}");
+        }
+    }
+
+    #[test]
+    fn descending_handles_extremes_without_overflow() {
+        let keys = vec![i32::MIN, i32::MAX, 0, -1];
+        let report = SortBuilder::new(Algorithm::FaultTolerant)
+            .keys(keys)
+            .direction(SortDirection::Descending)
+            .run()
+            .unwrap();
+        assert_eq!(report.output(), &[i32::MAX, 0, -1, i32::MIN]);
+    }
+
+    #[test]
+    fn descending_preserves_fault_detection() {
+        let plan = FaultPlan::new().with_fault(
+            NodeId::new(1),
+            FaultKind::TwoFaced,
+            Trigger::from_seq(1),
+            4,
+        );
+        let result = SortBuilder::new(Algorithm::FaultTolerant)
+            .keys((0..16).collect())
+            .direction(SortDirection::Descending)
+            .fault_plan(plan)
+            .run();
+        assert!(matches!(result, Err(SortError::Detected { .. })));
+    }
+
+    #[test]
+    fn display_and_names() {
+        assert_eq!(Algorithm::FaultTolerant.to_string(), "S_FT");
+        let err = SortError::InvalidInput("nope".into());
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn retry_rides_out_transient_fault() {
+        let keys: Vec<Key> = (0..16).rev().collect();
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        let retry = SortBuilder::new(Algorithm::FaultTolerant)
+            .keys(keys)
+            .recv_timeout(Duration::from_millis(300))
+            .run_with_retry(3, |attempt| {
+                if attempt == 0 {
+                    // Transient: present only during the first attempt.
+                    FaultPlan::new().with_fault(
+                        NodeId::new(4),
+                        FaultKind::CorruptValue,
+                        Trigger::from_seq(1),
+                        77,
+                    )
+                } else {
+                    FaultPlan::new()
+                }
+            })
+            .expect("second attempt is clean");
+        assert_eq!(retry.attempts_used, 2);
+        assert_eq!(retry.detections.len(), 1);
+        assert!(!retry.detections[0].is_empty());
+        assert_eq!(retry.report.output(), expected);
+    }
+
+    #[test]
+    fn retry_exhausts_on_permanent_fault() {
+        let permanent = |_: usize| {
+            FaultPlan::new().with_fault(
+                NodeId::new(2),
+                FaultKind::TwoFaced,
+                Trigger::from_seq(1),
+                5,
+            )
+        };
+        let result = SortBuilder::new(Algorithm::FaultTolerant)
+            .keys((0..8).rev().collect())
+            .recv_timeout(Duration::from_millis(300))
+            .run_with_retry(2, permanent);
+        assert!(matches!(result, Err(SortError::Detected { .. })));
+    }
+
+    #[test]
+    fn diagnosis_localizes_an_injected_fault() {
+        for faulty in 0..8u32 {
+            let plan = FaultPlan::new().with_fault(
+                NodeId::new(faulty),
+                FaultKind::CorruptValue,
+                Trigger::from_seq(1),
+                faulty as u64 + 40,
+            );
+            let Err(SortError::Detected { reports }) =
+                SortBuilder::new(Algorithm::FaultTolerant)
+                    .keys((0..8).rev().collect())
+                    .fault_plan(plan)
+                    .recv_timeout(Duration::from_millis(300))
+                    .run()
+            else {
+                continue; // fault absorbed: nothing to diagnose
+            };
+            let diagnosis = crate::diagnosis::diagnose(&reports, 3);
+            assert!(
+                diagnosis.suspects().contains(NodeId::new(faulty)),
+                "P{faulty} missing from {diagnosis}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_can_be_enabled() {
+        let report = SortBuilder::new(Algorithm::NonRedundant)
+            .keys(vec![2, 1])
+            .trace(true)
+            .run()
+            .unwrap();
+        assert!(!report.trace().is_empty());
+    }
+}

@@ -1,0 +1,256 @@
+//! Fault-injection campaigns: run many planned-fault trials and tabulate
+//! coverage, reproducing the error-coverage analysis of Section 4.
+//!
+//! A *trial* executes one application run under one [`FaultPlan`] and
+//! classifies the outcome:
+//!
+//! * [`TrialOutcome::Correct`] — the run completed with a correct result
+//!   (the fault was absorbed or never manifested in observable state);
+//! * [`TrialOutcome::Detected`] — the machine fail-stopped: an executable
+//!   assertion fired (or the missing-message timeout did);
+//! * [`TrialOutcome::SilentlyWrong`] — the run completed with a **wrong**
+//!   result. This is a coverage escape; Theorem 3 claims it never happens
+//!   for the fault bounds it states, and the campaign exists to check that
+//!   claim empirically;
+//! * [`TrialOutcome::Inconclusive`] — the trial could not be classified
+//!   (e.g. an infrastructure failure).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::FaultPlan;
+
+/// Classification of one fault-injection trial.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrialOutcome {
+    /// Completed with a correct result despite the injected fault.
+    Correct,
+    /// Fail-stopped: the fault was detected and no output was produced.
+    Detected,
+    /// Completed with an incorrect result — a coverage escape.
+    SilentlyWrong,
+    /// Could not be classified.
+    Inconclusive(String),
+}
+
+/// One trial's record: the plan that was injected and what happened.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialRecord {
+    /// The injected faults.
+    pub plan: FaultPlan,
+    /// The classified outcome.
+    pub outcome: TrialOutcome,
+}
+
+/// Aggregated outcomes for one fault kind (or one sweep label).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KindStats {
+    /// Trials run.
+    pub trials: u64,
+    /// Outcomes classified [`TrialOutcome::Correct`].
+    pub correct: u64,
+    /// Outcomes classified [`TrialOutcome::Detected`].
+    pub detected: u64,
+    /// Outcomes classified [`TrialOutcome::SilentlyWrong`].
+    pub silently_wrong: u64,
+    /// Outcomes classified [`TrialOutcome::Inconclusive`].
+    pub inconclusive: u64,
+}
+
+impl KindStats {
+    fn record(&mut self, outcome: &TrialOutcome) {
+        self.trials += 1;
+        match outcome {
+            TrialOutcome::Correct => self.correct += 1,
+            TrialOutcome::Detected => self.detected += 1,
+            TrialOutcome::SilentlyWrong => self.silently_wrong += 1,
+            TrialOutcome::Inconclusive(_) => self.inconclusive += 1,
+        }
+    }
+
+    /// Fraction of manifested faults that were caught:
+    /// `detected / (detected + silently_wrong)`; 1.0 when no fault
+    /// manifested in observable state.
+    pub fn coverage(&self) -> f64 {
+        let manifested = self.detected + self.silently_wrong;
+        if manifested == 0 {
+            1.0
+        } else {
+            self.detected as f64 / manifested as f64
+        }
+    }
+}
+
+/// The tabulated result of a fault-injection campaign.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Stats per sweep label (usually the fault kind name).
+    pub per_label: BTreeMap<String, KindStats>,
+    /// Every trial, in execution order.
+    pub trials: Vec<TrialRecord>,
+}
+
+impl CampaignResult {
+    /// Overall stats across all labels.
+    pub fn total(&self) -> KindStats {
+        let mut total = KindStats::default();
+        for stats in self.per_label.values() {
+            total.trials += stats.trials;
+            total.correct += stats.correct;
+            total.detected += stats.detected;
+            total.silently_wrong += stats.silently_wrong;
+            total.inconclusive += stats.inconclusive;
+        }
+        total
+    }
+
+    /// `true` if no trial ever produced a silently wrong result — the
+    /// empirical form of Theorem 3's guarantee.
+    pub fn never_silently_wrong(&self) -> bool {
+        self.total().silently_wrong == 0
+    }
+}
+
+impl fmt::Display for CampaignResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<20} {:>7} {:>9} {:>9} {:>7} {:>9} {:>9}",
+            "fault class", "trials", "correct", "detected", "wrong", "inconcl", "coverage"
+        )?;
+        for (label, s) in &self.per_label {
+            writeln!(
+                f,
+                "{label:<20} {:>7} {:>9} {:>9} {:>7} {:>9} {:>8.1}%",
+                s.trials,
+                s.correct,
+                s.detected,
+                s.silently_wrong,
+                s.inconclusive,
+                s.coverage() * 100.0
+            )?;
+        }
+        let t = self.total();
+        writeln!(
+            f,
+            "{:<20} {:>7} {:>9} {:>9} {:>7} {:>9} {:>8.1}%",
+            "TOTAL",
+            t.trials,
+            t.correct,
+            t.detected,
+            t.silently_wrong,
+            t.inconclusive,
+            t.coverage() * 100.0
+        )
+    }
+}
+
+/// Runs one trial per `(label, plan)` pair and tabulates outcomes by label.
+///
+/// The `runner` executes the application under the given plan and classifies
+/// the result; it is typically a closure around
+/// [`Engine::run_faulty`](aoft_sim::Engine::run_faulty) plus an output check
+/// against a known-good oracle.
+pub fn run_campaign<F>(
+    plans: impl IntoIterator<Item = (String, FaultPlan)>,
+    mut runner: F,
+) -> CampaignResult
+where
+    F: FnMut(&FaultPlan) -> TrialOutcome,
+{
+    let mut result = CampaignResult::default();
+    for (label, plan) in plans {
+        let outcome = runner(&plan);
+        result
+            .per_label
+            .entry(label)
+            .or_default()
+            .record(&outcome);
+        result.trials.push(TrialRecord { plan, outcome });
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultKind, Trigger};
+    use aoft_hypercube::NodeId;
+
+    fn plan(kind: FaultKind) -> FaultPlan {
+        FaultPlan::new().with_fault(NodeId::new(0), kind, Trigger::always(), 0)
+    }
+
+    #[test]
+    fn campaign_tabulates_by_label() {
+        let plans = vec![
+            ("a".to_string(), plan(FaultKind::Crash)),
+            ("a".to_string(), plan(FaultKind::Crash)),
+            ("b".to_string(), plan(FaultKind::TwoFaced)),
+        ];
+        let mut flip = false;
+        let result = run_campaign(plans, |_plan| {
+            flip = !flip;
+            if flip {
+                TrialOutcome::Detected
+            } else {
+                TrialOutcome::Correct
+            }
+        });
+        assert_eq!(result.trials.len(), 3);
+        assert_eq!(result.per_label["a"].trials, 2);
+        assert_eq!(result.per_label["a"].detected, 1);
+        assert_eq!(result.per_label["a"].correct, 1);
+        assert_eq!(result.per_label["b"].detected, 1);
+        assert!(result.never_silently_wrong());
+    }
+
+    #[test]
+    fn coverage_counts_only_manifested_faults() {
+        let mut stats = KindStats::default();
+        stats.record(&TrialOutcome::Correct);
+        assert_eq!(stats.coverage(), 1.0, "benign faults do not hurt coverage");
+        stats.record(&TrialOutcome::Detected);
+        stats.record(&TrialOutcome::Detected);
+        stats.record(&TrialOutcome::SilentlyWrong);
+        assert!((stats.coverage() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn silent_wrong_flags_campaign() {
+        let result = run_campaign(
+            vec![("x".to_string(), plan(FaultKind::CorruptValue))],
+            |_| TrialOutcome::SilentlyWrong,
+        );
+        assert!(!result.never_silently_wrong());
+        assert_eq!(result.total().silently_wrong, 1);
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let result = run_campaign(
+            vec![
+                ("crash".to_string(), plan(FaultKind::Crash)),
+                ("crash".to_string(), plan(FaultKind::Crash)),
+            ],
+            |_| TrialOutcome::Detected,
+        );
+        let text = result.to_string();
+        assert!(text.contains("fault class"));
+        assert!(text.contains("crash"));
+        assert!(text.contains("TOTAL"));
+        assert!(text.contains("100.0%"));
+    }
+
+    #[test]
+    fn inconclusive_is_tracked() {
+        let result = run_campaign(
+            vec![("x".to_string(), FaultPlan::new())],
+            |_| TrialOutcome::Inconclusive("infra".to_string()),
+        );
+        assert_eq!(result.total().inconclusive, 1);
+        assert_eq!(result.total().trials, 1);
+    }
+}

@@ -1,0 +1,146 @@
+use aoft_sim::{Payload, Word};
+use rand::Rng;
+
+/// A payload the fault injectors know how to damage.
+///
+/// Adversaries are generic over the application's message type; all they need
+/// is a way to produce *corrupted* and *plausibly-skewed* variants:
+///
+/// * [`corrupt`](Corruptible::corrupt) models a hard data fault — the result
+///   may be arbitrary garbage;
+/// * [`skew`](Corruptible::skew) models malicious Byzantine behaviour — the
+///   result should remain structurally plausible (right shape, wrong
+///   content), the hardest case for an executable assertion to catch.
+///
+/// Both must be deterministic functions of `(self, rng)` so that fault
+/// campaigns replay exactly under a fixed seed.
+pub trait Corruptible: Payload {
+    /// A corrupted variant of `self`.
+    fn corrupt<R: Rng + ?Sized>(&self, rng: &mut R) -> Self;
+
+    /// A plausible-but-different variant of `self` for two-faced sends.
+    ///
+    /// Defaults to [`corrupt`](Corruptible::corrupt).
+    fn skew<R: Rng + ?Sized>(&self, rng: &mut R) -> Self {
+        self.corrupt(rng)
+    }
+}
+
+impl Corruptible for Word {
+    /// Flips a random bit.
+    fn corrupt<R: Rng + ?Sized>(&self, rng: &mut R) -> Self {
+        Word(self.0 ^ (1 << rng.gen_range(0..32)))
+    }
+}
+
+impl Corruptible for u32 {
+    fn corrupt<R: Rng + ?Sized>(&self, rng: &mut R) -> Self {
+        self ^ (1 << rng.gen_range(0..32))
+    }
+}
+
+impl Corruptible for i64 {
+    /// Flips a random bit of the low 32 bits (the paper sorts 32-bit keys).
+    fn corrupt<R: Rng + ?Sized>(&self, rng: &mut R) -> Self {
+        self ^ (1i64 << rng.gen_range(0..32))
+    }
+
+    /// Perturbs the value by a small nonzero offset — stays in a plausible
+    /// range, unlike a random bit flip.
+    fn skew<R: Rng + ?Sized>(&self, rng: &mut R) -> Self {
+        let delta = rng.gen_range(1..=16);
+        if rng.gen_bool(0.5) {
+            self.wrapping_add(delta)
+        } else {
+            self.wrapping_sub(delta)
+        }
+    }
+}
+
+impl<T: Corruptible> Corruptible for Vec<T> {
+    /// Corrupts one random element; an empty vector gains nothing (there is
+    /// nothing to damage without fabricating structure).
+    fn corrupt<R: Rng + ?Sized>(&self, rng: &mut R) -> Self {
+        let mut out = self.clone();
+        if !out.is_empty() {
+            let idx = rng.gen_range(0..out.len());
+            out[idx] = out[idx].corrupt(rng);
+        }
+        out
+    }
+
+    fn skew<R: Rng + ?Sized>(&self, rng: &mut R) -> Self {
+        let mut out = self.clone();
+        if !out.is_empty() {
+            let idx = rng.gen_range(0..out.len());
+            out[idx] = out[idx].skew(rng);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn word_corrupt_changes_value() {
+        let mut r = rng();
+        let w = Word(0xDEAD);
+        let c = w.corrupt(&mut r);
+        assert_ne!(c.0, w.0);
+        assert_eq!((c.0 ^ w.0).count_ones(), 1, "single bit flip");
+    }
+
+    #[test]
+    fn i64_corrupt_flips_one_low_bit() {
+        let mut r = rng();
+        let v: i64 = 1_000_000;
+        let c = v.corrupt(&mut r);
+        assert_ne!(c, v);
+        assert_eq!(((c ^ v) as u64).count_ones(), 1);
+    }
+
+    #[test]
+    fn i64_skew_is_small_and_nonzero() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let v: i64 = 500;
+            let s = v.skew(&mut r);
+            assert_ne!(s, v);
+            assert!((s - v).abs() <= 16);
+        }
+    }
+
+    #[test]
+    fn vec_corrupt_touches_exactly_one_element() {
+        let mut r = rng();
+        let v: Vec<i64> = vec![1, 2, 3, 4, 5];
+        let c = v.corrupt(&mut r);
+        let diffs = v.iter().zip(&c).filter(|(a, b)| a != b).count();
+        assert_eq!(diffs, 1);
+        assert_eq!(c.len(), v.len());
+    }
+
+    #[test]
+    fn empty_vec_survives_corruption() {
+        let mut r = rng();
+        let v: Vec<i64> = Vec::new();
+        assert!(v.corrupt(&mut r).is_empty());
+        assert!(v.skew(&mut r).is_empty());
+    }
+
+    #[test]
+    fn corruption_is_deterministic_under_seed() {
+        let v: Vec<i64> = (0..16).collect();
+        let a = v.corrupt(&mut ChaCha8Rng::seed_from_u64(3));
+        let b = v.corrupt(&mut ChaCha8Rng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,178 @@
+//! Binomial spanning trees: the standard one-to-all schedule on a hypercube.
+//!
+//! Hypercube multicomputers of the Ncube era broadcast by *recursive
+//! doubling*: in round `r` (counting down the dimensions), every node that
+//! already holds the datum forwards it across dimension `r`. After `n`
+//! rounds all `2^n` nodes hold it, each having received exactly once — the
+//! edges used form a binomial spanning tree rooted at the source.
+//!
+//! The sorting algorithms themselves never broadcast (there is no atomic
+//! broadcast — environmental assumption 3 — and the bitonic exchange
+//! pattern is all they need), but the schedule is part of any credible
+//! hypercube toolkit and is used by tests as an independent model of the
+//! "who knows what when" reachability that `vect_mask` computes.
+
+use crate::{Hypercube, NodeId};
+
+/// One forwarding step of a broadcast schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Hop {
+    /// The round in which the hop happens (0-based).
+    pub round: u32,
+    /// The forwarding node (already holds the datum).
+    pub from: NodeId,
+    /// The receiving node.
+    pub to: NodeId,
+}
+
+/// The recursive-doubling broadcast schedule from `root`, highest dimension
+/// first.
+///
+/// Returns the hops grouped in execution order: round `r` crosses dimension
+/// `n−1−r`. Every non-root node appears exactly once as a receiver, and a
+/// node only forwards after the round in which it received — the defining
+/// properties of a binomial tree.
+///
+/// # Panics
+///
+/// Panics if `root` lies outside the cube.
+///
+/// # Examples
+///
+/// ```
+/// use aoft_hypercube::{broadcast, Hypercube, NodeId};
+///
+/// let cube = Hypercube::new(3)?;
+/// let schedule = broadcast::binomial_schedule(&cube, NodeId::new(0));
+/// assert_eq!(schedule.len(), 7); // N - 1 hops
+/// assert_eq!(schedule[0].to, NodeId::new(4)); // round 0 crosses dim 2
+/// # Ok::<(), aoft_hypercube::DimensionError>(())
+/// ```
+pub fn binomial_schedule(cube: &Hypercube, root: NodeId) -> Vec<Hop> {
+    assert!(cube.contains(root), "{root} outside {cube}");
+    let n = cube.dim();
+    let mut holders = vec![root];
+    let mut hops = Vec::with_capacity(cube.len().saturating_sub(1));
+    for round in 0..n {
+        let dim = n - 1 - round;
+        let mut fresh = Vec::with_capacity(holders.len());
+        for &from in &holders {
+            let to = from.neighbor(dim);
+            hops.push(Hop { round, from, to });
+            fresh.push(to);
+        }
+        holders.append(&mut fresh);
+    }
+    hops
+}
+
+/// The number of rounds a broadcast needs: the cube dimension `n`
+/// (optimal — the cube's diameter).
+pub fn rounds(cube: &Hypercube) -> u32 {
+    cube.dim()
+}
+
+/// The parent of `node` in the binomial tree rooted at `root`.
+///
+/// The schedule crosses dimensions highest-first, so a node receives in the
+/// round of its *lowest* differing bit: its parent is the neighbor across
+/// `node ⊕ root`'s lowest set bit.
+///
+/// Returns `None` for the root itself.
+///
+/// # Panics
+///
+/// Panics if either node lies outside the cube.
+pub fn parent(cube: &Hypercube, root: NodeId, node: NodeId) -> Option<NodeId> {
+    assert!(cube.contains(root), "{root} outside {cube}");
+    assert!(cube.contains(node), "{node} outside {cube}");
+    let diff = node.raw() ^ root.raw();
+    if diff == 0 {
+        return None;
+    }
+    Some(node.neighbor(diff.trailing_zeros()))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    use super::*;
+
+    #[test]
+    fn schedule_reaches_everyone_exactly_once() {
+        for dim in 0..=6u32 {
+            let cube = Hypercube::new(dim).unwrap();
+            for root_raw in [0u32, (cube.len() as u32).saturating_sub(1)] {
+                let root = NodeId::new(root_raw);
+                let schedule = binomial_schedule(&cube, root);
+                assert_eq!(schedule.len(), cube.len() - 1);
+                let receivers: HashSet<NodeId> = schedule.iter().map(|h| h.to).collect();
+                assert_eq!(receivers.len(), cube.len() - 1, "each node receives once");
+                assert!(!receivers.contains(&root));
+            }
+        }
+    }
+
+    #[test]
+    fn forwarders_already_hold_the_datum() {
+        let cube = Hypercube::new(5).unwrap();
+        let root = NodeId::new(13);
+        let mut holders: HashSet<NodeId> = [root].into();
+        let schedule = binomial_schedule(&cube, root);
+        let mut round = 0;
+        let mut pending: Vec<NodeId> = Vec::new();
+        for hop in &schedule {
+            if hop.round != round {
+                holders.extend(pending.drain(..));
+                round = hop.round;
+            }
+            assert!(
+                holders.contains(&hop.from),
+                "round {round}: {} forwards before receiving",
+                hop.from
+            );
+            assert!(hop.from.is_neighbor_of(hop.to));
+            pending.push(hop.to);
+        }
+    }
+
+    #[test]
+    fn rounds_equal_dimension() {
+        for dim in 0..=8 {
+            let cube = Hypercube::new(dim).unwrap();
+            assert_eq!(rounds(&cube), dim);
+            let schedule = binomial_schedule(&cube, NodeId::new(0));
+            let max_round = schedule.iter().map(|h| h.round).max();
+            assert_eq!(max_round, dim.checked_sub(1));
+        }
+    }
+
+    #[test]
+    fn parent_chain_leads_to_root() {
+        let cube = Hypercube::new(6).unwrap();
+        let root = NodeId::new(21);
+        for node in cube.nodes() {
+            let mut cur = node;
+            let mut steps = 0;
+            while let Some(p) = parent(&cube, root, cur) {
+                assert!(cur.is_neighbor_of(p));
+                cur = p;
+                steps += 1;
+                assert!(steps <= 6, "chain longer than the diameter");
+            }
+            assert_eq!(cur, root);
+            assert_eq!(steps, node.hamming_distance(root));
+        }
+    }
+
+    #[test]
+    fn parent_matches_schedule() {
+        // The hop that delivers to a node comes from its binomial parent.
+        let cube = Hypercube::new(4).unwrap();
+        let root = NodeId::new(5);
+        for hop in binomial_schedule(&cube, root) {
+            assert_eq!(parent(&cube, root, hop.to), Some(hop.from));
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Dimension-ordered (e-cube) routing and vertex-disjoint path families.
+//!
+//! The consistency predicate Φ_C of the paper rests on a classical property
+//! of the hypercube: between any two distinct nodes at Hamming distance `d`
+//! there are `d` pairwise internally-vertex-disjoint shortest paths (and `n`
+//! disjoint paths overall, Menger's theorem for the `n`-connected hypercube).
+//! A Byzantine relay can therefore corrupt at most one of the copies of a
+//! value that travel along different paths, and any disagreement is detected
+//! at the checking node (Lemma 6).
+//!
+//! This module constructs those families explicitly so that tests can verify
+//! the disjointness property the correctness argument relies on, and so the
+//! simulator can route host traffic.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Hypercube, NodeId};
+
+/// A walk through the hypercube: a sequence of nodes where consecutive
+/// entries are adjacent.
+///
+/// # Examples
+///
+/// ```
+/// use aoft_hypercube::{Hypercube, NodeId, routing};
+///
+/// let cube = Hypercube::new(3)?;
+/// let path = routing::ecube_path(NodeId::new(0), NodeId::new(5));
+/// assert_eq!(path.hops(), 2);
+/// assert!(path.is_valid());
+/// # Ok::<(), aoft_hypercube::DimensionError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Path {
+    nodes: Vec<NodeId>,
+}
+
+impl Path {
+    /// Creates a path from an explicit node sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is empty.
+    pub fn new(nodes: Vec<NodeId>) -> Self {
+        assert!(!nodes.is_empty(), "a path has at least one node");
+        Self { nodes }
+    }
+
+    /// The originating node.
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// The terminal node.
+    pub fn destination(&self) -> NodeId {
+        *self.nodes.last().expect("paths are non-empty")
+    }
+
+    /// Number of links traversed.
+    pub fn hops(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// The node sequence, source first.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Interior nodes (everything strictly between source and destination).
+    pub fn interior(&self) -> &[NodeId] {
+        if self.nodes.len() <= 2 {
+            &[]
+        } else {
+            &self.nodes[1..self.nodes.len() - 1]
+        }
+    }
+
+    /// `true` if every consecutive pair is hypercube-adjacent.
+    pub fn is_valid(&self) -> bool {
+        self.nodes.windows(2).all(|w| w[0].is_neighbor_of(w[1]))
+    }
+
+    /// `true` if the interiors of `self` and `other` share no node.
+    ///
+    /// This is the *internal vertex disjointness* required by Lemma 6: paths
+    /// between the same endpoints necessarily share those endpoints.
+    pub fn is_internally_disjoint_from(&self, other: &Path) -> bool {
+        self.interior()
+            .iter()
+            .all(|n| !other.interior().contains(n))
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, node) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " -> ")?;
+            }
+            write!(f, "{node}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The dimension-ordered (e-cube) shortest path from `src` to `dst`.
+///
+/// Differing bits are corrected lowest dimension first — the deterministic,
+/// deadlock-free routing used by the Ncube generation of multicomputers.
+pub fn ecube_path(src: NodeId, dst: NodeId) -> Path {
+    let mut nodes = vec![src];
+    let mut cur = src;
+    let mut diff = src.raw() ^ dst.raw();
+    while diff != 0 {
+        let dim = diff.trailing_zeros();
+        cur = cur.neighbor(dim);
+        nodes.push(cur);
+        diff &= diff - 1;
+    }
+    Path::new(nodes)
+}
+
+/// A family of pairwise internally-vertex-disjoint paths between two nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DisjointPaths {
+    src: NodeId,
+    dst: NodeId,
+    paths: Vec<Path>,
+}
+
+impl DisjointPaths {
+    /// Constructs `n` pairwise internally-vertex-disjoint paths from `src` to
+    /// `dst` in the `n`-dimensional cube (the full Menger family).
+    ///
+    /// For each dimension `r`:
+    /// * if bit `r` is a differing bit, the path corrects the differing bits
+    ///   starting at `r` (rotated order) — giving `d = H(src,dst)` shortest
+    ///   paths;
+    /// * otherwise the path first detours across dimension `r`, corrects all
+    ///   differing bits in rotated order, and detours back — giving the
+    ///   remaining `n − d` paths of length `d + 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` or either node lies outside the cube.
+    pub fn build(cube: &Hypercube, src: NodeId, dst: NodeId) -> Self {
+        assert!(cube.contains(src), "{src} outside {cube}");
+        assert!(cube.contains(dst), "{dst} outside {cube}");
+        assert_ne!(src, dst, "no disjoint path family from a node to itself");
+
+        let n = cube.dim();
+        let diff = src.raw() ^ dst.raw();
+        let diff_dims: Vec<u32> = (0..n).filter(|d| diff >> d & 1 == 1).collect();
+        let mut paths = Vec::with_capacity(n as usize);
+
+        for r in 0..n {
+            if diff >> r & 1 == 1 {
+                // Shortest path correcting differing dims in rotated order
+                // starting from r.
+                let pos = diff_dims
+                    .iter()
+                    .position(|&d| d == r)
+                    .expect("r is a differing dim");
+                let mut nodes = vec![src];
+                let mut cur = src;
+                for k in 0..diff_dims.len() {
+                    let dim = diff_dims[(pos + k) % diff_dims.len()];
+                    cur = cur.neighbor(dim);
+                    nodes.push(cur);
+                }
+                paths.push(Path::new(nodes));
+            } else {
+                // Detour: src -> src^2^r -> (correct diff dims in ascending
+                // rotated order) -> dst^2^r -> dst.
+                let mut nodes = vec![src];
+                let mut cur = src.neighbor(r);
+                nodes.push(cur);
+                for &dim in &diff_dims {
+                    cur = cur.neighbor(dim);
+                    nodes.push(cur);
+                }
+                cur = cur.neighbor(r);
+                debug_assert_eq!(cur, dst);
+                nodes.push(cur);
+                paths.push(Path::new(nodes));
+            }
+        }
+        Self { src, dst, paths }
+    }
+
+    /// The common source node.
+    pub fn source(&self) -> NodeId {
+        self.src
+    }
+
+    /// The common destination node.
+    pub fn destination(&self) -> NodeId {
+        self.dst
+    }
+
+    /// The paths, one per cube dimension.
+    pub fn paths(&self) -> &[Path] {
+        &self.paths
+    }
+
+    /// Number of paths in the family.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// `true` if the family is empty (only for a 0-dimensional cube).
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Verifies that every pair of paths is internally vertex disjoint.
+    pub fn verify_disjoint(&self) -> bool {
+        for (i, a) in self.paths.iter().enumerate() {
+            for b in &self.paths[i + 1..] {
+                if !a.is_internally_disjoint_from(b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecube_is_shortest_and_valid() {
+        for src in 0u32..16 {
+            for dst in 0u32..16 {
+                let path = ecube_path(NodeId::new(src), NodeId::new(dst));
+                assert!(path.is_valid());
+                assert_eq!(
+                    path.hops() as u32,
+                    NodeId::new(src).hamming_distance(NodeId::new(dst))
+                );
+                assert_eq!(path.source().raw(), src);
+                assert_eq!(path.destination().raw(), dst);
+            }
+        }
+    }
+
+    #[test]
+    fn ecube_corrects_lowest_dim_first() {
+        let path = ecube_path(NodeId::new(0b000), NodeId::new(0b101));
+        let labels: Vec<u32> = path.nodes().iter().map(|n| n.raw()).collect();
+        assert_eq!(labels, vec![0b000, 0b001, 0b101]);
+    }
+
+    #[test]
+    fn disjoint_family_has_n_paths() {
+        let cube = Hypercube::new(4).unwrap();
+        let family = DisjointPaths::build(&cube, NodeId::new(3), NodeId::new(12));
+        assert_eq!(family.len(), 4);
+        for p in family.paths() {
+            assert!(p.is_valid());
+            assert_eq!(p.source(), NodeId::new(3));
+            assert_eq!(p.destination(), NodeId::new(12));
+        }
+        assert!(family.verify_disjoint());
+    }
+
+    #[test]
+    fn disjoint_family_all_pairs_small_cubes() {
+        for dim in 1..=5u32 {
+            let cube = Hypercube::new(dim).unwrap();
+            for src in cube.nodes() {
+                for dst in cube.nodes() {
+                    if src == dst {
+                        continue;
+                    }
+                    let family = DisjointPaths::build(&cube, src, dst);
+                    assert_eq!(family.len(), dim as usize);
+                    assert!(
+                        family.verify_disjoint(),
+                        "family {src}->{dst} in Q{dim} not disjoint"
+                    );
+                    let d = src.hamming_distance(dst) as usize;
+                    let shortest = family.paths().iter().filter(|p| p.hops() == d).count();
+                    let detours = family.paths().iter().filter(|p| p.hops() == d + 2).count();
+                    assert_eq!(shortest, d);
+                    assert_eq!(detours, dim as usize - d);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no disjoint path family")]
+    fn same_endpoints_panic() {
+        let cube = Hypercube::new(3).unwrap();
+        DisjointPaths::build(&cube, NodeId::new(1), NodeId::new(1));
+    }
+
+    #[test]
+    fn path_interior() {
+        let path = ecube_path(NodeId::new(0), NodeId::new(7));
+        assert_eq!(path.interior().len(), 2);
+        let single = ecube_path(NodeId::new(0), NodeId::new(1));
+        assert!(single.interior().is_empty());
+        let trivial = ecube_path(NodeId::new(4), NodeId::new(4));
+        assert!(trivial.interior().is_empty());
+        assert_eq!(trivial.hops(), 0);
+    }
+
+    #[test]
+    fn display_path() {
+        let path = ecube_path(NodeId::new(0), NodeId::new(3));
+        assert_eq!(path.to_string(), "P0 -> P1 -> P3");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_path_panics() {
+        Path::new(Vec::new());
+    }
+}

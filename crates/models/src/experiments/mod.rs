@@ -1,0 +1,13 @@
+//! The experiment harness: one module per table/figure of the paper.
+//!
+//! Every experiment produces a serializable result struct whose `Display`
+//! renders the same rows/series the paper reports. The `experiments` binary
+//! runs them all and records the output in `EXPERIMENTS.md`.
+
+pub mod coverage;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod latency;
+pub mod overhead;
+pub mod table1;

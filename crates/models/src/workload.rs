@@ -1,0 +1,136 @@
+//! Workload generators for the experiments.
+//!
+//! The paper sorts uniformly random 32-bit integers; the harness adds the
+//! standard adversarial distributions (presorted, reversed, few-distinct) so
+//! the reproduction can show the algorithms are insensitive to input order —
+//! bitonic networks are oblivious, so the schedule never depends on the
+//! data.
+
+use std::fmt;
+
+use aoft_sort::Key;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// The input distributions the harness can generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Workload {
+    /// Uniform random keys over the full 32-bit range (the paper's input).
+    UniformRandom,
+    /// Already sorted ascending.
+    Presorted,
+    /// Sorted descending — the classical worst case for naive quicksorts,
+    /// a no-op for oblivious networks.
+    Reversed,
+    /// Only 8 distinct values: exercises tie handling everywhere.
+    FewDistinct,
+    /// An organ-pipe sequence (ascending then descending): already bitonic.
+    OrganPipe,
+}
+
+impl Workload {
+    /// All workloads, for sweeps.
+    pub const ALL: [Workload; 5] = [
+        Workload::UniformRandom,
+        Workload::Presorted,
+        Workload::Reversed,
+        Workload::FewDistinct,
+        Workload::OrganPipe,
+    ];
+
+    /// Stable kebab-case name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::UniformRandom => "uniform-random",
+            Workload::Presorted => "presorted",
+            Workload::Reversed => "reversed",
+            Workload::FewDistinct => "few-distinct",
+            Workload::OrganPipe => "organ-pipe",
+        }
+    }
+
+    /// Generates `len` keys, deterministic in `seed`.
+    pub fn generate(&self, len: usize, seed: u64) -> Vec<Key> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        match self {
+            Workload::UniformRandom => (0..len).map(|_| rng.gen()).collect(),
+            Workload::Presorted => (0..len as i64)
+                .map(|x| (x - len as i64 / 2) as Key)
+                .collect(),
+            Workload::Reversed => (0..len as i64)
+                .rev()
+                .map(|x| (x - len as i64 / 2) as Key)
+                .collect(),
+            Workload::FewDistinct => (0..len).map(|_| rng.gen_range(0..8)).collect(),
+            Workload::OrganPipe => {
+                let half = len / 2;
+                (0..half as Key)
+                    .chain((0..(len - half) as Key).rev())
+                    .collect()
+            }
+        }
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_and_determinism() {
+        for workload in Workload::ALL {
+            let a = workload.generate(64, 7);
+            let b = workload.generate(64, 7);
+            assert_eq!(a.len(), 64);
+            assert_eq!(a, b, "{workload} deterministic under a fixed seed");
+        }
+    }
+
+    #[test]
+    fn uniform_differs_across_seeds() {
+        assert_ne!(
+            Workload::UniformRandom.generate(32, 1),
+            Workload::UniformRandom.generate(32, 2)
+        );
+    }
+
+    #[test]
+    fn presorted_and_reversed_shapes() {
+        let sorted = Workload::Presorted.generate(16, 0);
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        let reversed = Workload::Reversed.generate(16, 0);
+        assert!(reversed.windows(2).all(|w| w[0] >= w[1]));
+        let mut r = reversed.clone();
+        r.reverse();
+        assert_eq!(r, sorted);
+    }
+
+    #[test]
+    fn few_distinct_has_few_values() {
+        let keys = Workload::FewDistinct.generate(256, 3);
+        let mut unique = keys.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert!(unique.len() <= 8);
+    }
+
+    #[test]
+    fn organ_pipe_is_bitonic() {
+        let keys = Workload::OrganPipe.generate(32, 0);
+        assert!(aoft_sort::bitonic::is_bitonic(&keys));
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<&str> =
+            Workload::ALL.iter().map(|w| w.name()).collect();
+        assert_eq!(names.len(), Workload::ALL.len());
+    }
+}

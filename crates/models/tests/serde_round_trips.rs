@@ -1,0 +1,76 @@
+//! Every experiment artifact must round-trip through JSON losslessly — the
+//! `--json` archive is only useful if it can be read back.
+
+use aoft_models::complexity::{BlockModel, ModelConstants};
+use aoft_models::experiments::{fig7, overhead};
+use aoft_models::measure::RunRecord;
+use aoft_models::workload::Workload;
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string_pretty(value).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn model_constants_round_trip() {
+    let c = ModelConstants::PAPER;
+    assert_eq!(round_trip(&c), c);
+    let block = BlockModel { base: c, m: 64.0 };
+    assert_eq!(round_trip(&block), block);
+}
+
+#[test]
+fn run_record_round_trips() {
+    let record = RunRecord {
+        algorithm: "S_FT".into(),
+        nodes: 16,
+        block: 4,
+        workload: "uniform-random".into(),
+        elapsed_ticks: 123.456,
+        comm_ticks: 50.0,
+        idle_ticks: 3.25,
+        comp_ticks: 70.0,
+        host_comp_ticks: 0.0,
+        host_comm_ticks: 0.0,
+        msgs: 640,
+        words: 15_776,
+        output_correct: true,
+    };
+    assert_eq!(round_trip(&record), record);
+}
+
+#[test]
+fn fig7_round_trips() {
+    // Float-heavy artifact: this serde_json build's float writer drops the
+    // last ULP on some doubles, so compare with a relative tolerance — for
+    // archived experiment data, 1e-12 relative error is immaterial.
+    let fig = fig7::run(ModelConstants::PAPER, "paper", 2, 8);
+    let back: fig7::Fig7 = round_trip(&fig);
+    assert_eq!(back.crossover, fig.crossover);
+    assert_eq!(back.label, fig.label);
+    assert_eq!(back.rows.len(), fig.rows.len());
+    let close = |a: f64, b: f64| (a - b).abs() <= a.abs().max(b.abs()) * 1e-12;
+    assert!(close(back.limit_ratio, fig.limit_ratio));
+    for (a, b) in back.rows.iter().zip(&fig.rows) {
+        assert_eq!(a.nodes, b.nodes);
+        assert!(close(a.sft_ticks, b.sft_ticks));
+        assert!(close(a.seq_ticks, b.seq_ticks));
+        assert!(close(a.ratio, b.ratio), "{} vs {}", a.ratio, b.ratio);
+    }
+}
+
+#[test]
+fn overhead_round_trips() {
+    let table = overhead::run(3, 1);
+    assert_eq!(round_trip(&table), table);
+}
+
+#[test]
+fn workload_names_round_trip() {
+    for w in Workload::ALL {
+        assert_eq!(round_trip(&w), w);
+    }
+}

@@ -1,0 +1,99 @@
+use std::time::Duration;
+
+use crate::CostModel;
+
+/// Configuration of one simulated machine.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use aoft_sim::{CostModel, SimConfig};
+///
+/// let config = SimConfig::new()
+///     .cost_model(CostModel::unit())
+///     .recv_timeout(Duration::from_millis(100))
+///     .trace(true);
+/// assert!(config.trace_enabled());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    cost: CostModel,
+    recv_timeout: Duration,
+    trace: bool,
+}
+
+impl SimConfig {
+    /// Default configuration: Ncube-calibrated cost model, 2 s receive
+    /// timeout, tracing off.
+    pub fn new() -> Self {
+        Self {
+            cost: CostModel::default(),
+            recv_timeout: Duration::from_secs(2),
+            trace: false,
+        }
+    }
+
+    /// Sets the virtual-time cost model.
+    pub fn cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Sets the real-time receive timeout after which a missing message is
+    /// reported (environmental assumption 4).
+    pub fn recv_timeout(mut self, timeout: Duration) -> Self {
+        self.recv_timeout = timeout;
+        self
+    }
+
+    /// Enables or disables event tracing.
+    pub fn trace(mut self, enabled: bool) -> Self {
+        self.trace = enabled;
+        self
+    }
+
+    /// The configured cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The configured receive timeout.
+    pub fn timeout(&self) -> Duration {
+        self.recv_timeout
+    }
+
+    /// `true` if event tracing is enabled.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trips() {
+        let config = SimConfig::new()
+            .cost_model(CostModel::unit())
+            .recv_timeout(Duration::from_millis(50))
+            .trace(true);
+        assert_eq!(*config.cost(), CostModel::unit());
+        assert_eq!(config.timeout(), Duration::from_millis(50));
+        assert!(config.trace_enabled());
+    }
+
+    #[test]
+    fn default_disables_trace() {
+        let config = SimConfig::default();
+        assert!(!config.trace_enabled());
+        assert_eq!(*config.cost(), CostModel::ncube_1989());
+    }
+}

@@ -1,0 +1,366 @@
+use std::fmt;
+use std::sync::Arc;
+
+use aoft_hypercube::{Hypercube, NodeId};
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::adversary::AdversarySet;
+use crate::error::{ErrorReport, SimError};
+use crate::host::HostCtx;
+use crate::message::{Packet, Payload};
+use crate::metrics::{NodeMetrics, RunMetrics};
+use crate::node::NodeCtx;
+use crate::program::Program;
+use crate::trace::Trace;
+use crate::SimConfig;
+
+/// Cooperative fail-stop token shared by every endpoint of a run.
+///
+/// Cancellation is signalled by dropping the single `Sender<()>`: every
+/// cloned observer `Receiver` becomes disconnected at once, which wakes all
+/// blocked `select!` receives immediately — no polling, no lost wakeups.
+#[derive(Clone)]
+pub(crate) struct CancelToken {
+    trigger: Arc<Mutex<Option<Sender<()>>>>,
+    observer: Receiver<()>,
+}
+
+impl CancelToken {
+    pub(crate) fn new() -> Self {
+        let (tx, rx) = unbounded();
+        Self {
+            trigger: Arc::new(Mutex::new(Some(tx))),
+            observer: rx,
+        }
+    }
+
+    pub(crate) fn cancel(&self) {
+        self.trigger.lock().take();
+    }
+
+    pub(crate) fn is_cancelled(&self) -> bool {
+        matches!(
+            self.observer.try_recv(),
+            Err(crossbeam_channel::TryRecvError::Disconnected)
+        )
+    }
+
+    pub(crate) fn observer(&self) -> &Receiver<()> {
+        &self.observer
+    }
+}
+
+/// How a run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome<T> {
+    /// Every node finished; per-node outputs in label order.
+    Completed(Vec<T>),
+    /// The machine fail-stopped: at least one executable assertion fired (or
+    /// a node died without output). No result was produced — exactly the
+    /// guarantee of the paper's Theorem 3.
+    FailStop {
+        /// All error reports received by the host, ordered by detection time.
+        reports: Vec<ErrorReport>,
+    },
+}
+
+/// The result of one simulated run: outcome, metrics and (optionally) trace.
+#[derive(Debug, Clone)]
+pub struct RunReport<T> {
+    outcome: Outcome<T>,
+    metrics: RunMetrics,
+    trace: Trace,
+}
+
+impl<T> RunReport<T> {
+    /// The run outcome.
+    pub fn outcome(&self) -> &Outcome<T> {
+        &self.outcome
+    }
+
+    /// Per-node outputs if the run completed, `None` if it fail-stopped.
+    pub fn outputs(&self) -> Option<&[T]> {
+        match &self.outcome {
+            Outcome::Completed(outputs) => Some(outputs),
+            Outcome::FailStop { .. } => None,
+        }
+    }
+
+    /// Consumes the report, yielding outputs or the error reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns the fail-stop reports if the run did not complete.
+    pub fn into_outputs(self) -> Result<Vec<T>, Vec<ErrorReport>> {
+        match self.outcome {
+            Outcome::Completed(outputs) => Ok(outputs),
+            Outcome::FailStop { reports } => Err(reports),
+        }
+    }
+
+    /// Error reports delivered to the host (empty when the run completed).
+    pub fn reports(&self) -> &[ErrorReport] {
+        match &self.outcome {
+            Outcome::Completed(_) => &[],
+            Outcome::FailStop { reports } => reports,
+        }
+    }
+
+    /// `true` if the machine fail-stopped.
+    pub fn is_fail_stop(&self) -> bool {
+        matches!(self.outcome, Outcome::FailStop { .. })
+    }
+
+    /// Virtual-time and traffic metrics.
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// The merged event trace (empty unless tracing was enabled).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+}
+
+/// The simulated multicomputer: topology plus configuration.
+///
+/// See the [crate-level documentation](crate) for the simulation model and
+/// an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    cube: Hypercube,
+    config: SimConfig,
+}
+
+impl Engine {
+    /// Creates a machine with the given topology and configuration.
+    pub fn new(cube: Hypercube, config: SimConfig) -> Self {
+        Self { cube, config }
+    }
+
+    /// The machine's topology.
+    pub fn cube(&self) -> &Hypercube {
+        &self.cube
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs `program` on every node of a fully honest machine, with no host
+    /// logic beyond error collection.
+    pub fn run<M, P>(&self, program: &P) -> RunReport<P::Output>
+    where
+        M: Payload,
+        P: Program<M>,
+    {
+        self.run_faulty(program, AdversarySet::honest(self.cube.len()))
+    }
+
+    /// Runs `program` with the given per-node adversaries installed.
+    pub fn run_faulty<M, P>(
+        &self,
+        program: &P,
+        adversaries: AdversarySet<M>,
+    ) -> RunReport<P::Output>
+    where
+        M: Payload,
+        P: Program<M>,
+    {
+        self.run_with_host(program, adversaries, |_host| {}).0
+    }
+
+    /// Runs `program` on the nodes and `host_fn` on the host processor.
+    ///
+    /// The host function runs on the calling thread while node threads run
+    /// concurrently; its return value is handed back alongside the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `adversaries` was built for a different machine size, or if
+    /// a node program panics.
+    pub fn run_with_host<M, P, H, R>(
+        &self,
+        program: &P,
+        adversaries: AdversarySet<M>,
+        host_fn: H,
+    ) -> (RunReport<P::Output>, R)
+    where
+        M: Payload,
+        P: Program<M>,
+        H: FnOnce(&mut HostCtx<'_, M>) -> R,
+    {
+        let n = self.cube.len();
+        assert_eq!(
+            adversaries.len(),
+            n,
+            "adversary set sized for {} nodes, machine has {n}",
+            adversaries.len()
+        );
+
+        // Directed node-to-node channels: channel[u][d] carries u -> u^2^d.
+        let dims = self.cube.dim() as usize;
+        let mut out_links: Vec<Vec<Sender<Packet<M>>>> = (0..n).map(|_| Vec::new()).collect();
+        let mut in_links: Vec<Vec<Option<Receiver<Packet<M>>>>> =
+            (0..n).map(|_| vec![None; dims]).collect();
+        for (u, outs) in out_links.iter_mut().enumerate() {
+            #[allow(clippy::needless_range_loop)] // d indexes both ends of the wiring
+            for d in 0..dims {
+                let (tx, rx) = unbounded();
+                outs.push(tx);
+                let v = NodeId::new(u as u32).neighbor(d as u32).index();
+                in_links[v][d] = Some(rx);
+            }
+        }
+        let mut in_links: Vec<Vec<Receiver<Packet<M>>>> = in_links
+            .into_iter()
+            .map(|links| {
+                links
+                    .into_iter()
+                    .map(|l| l.expect("every directed link wired"))
+                    .collect()
+            })
+            .collect();
+
+        // Host links.
+        let mut to_host_txs = Vec::with_capacity(n);
+        let mut to_host_rxs = Vec::with_capacity(n);
+        let mut from_host_txs = Vec::with_capacity(n);
+        let mut from_host_rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            to_host_txs.push(tx);
+            to_host_rxs.push(rx);
+            let (tx, rx) = unbounded();
+            from_host_txs.push(tx);
+            from_host_rxs.push(rx);
+        }
+
+        let (err_tx, err_rx) = unbounded();
+        let cancel = CancelToken::new();
+        let cost = *self.config.cost();
+        let timeout = self.config.timeout();
+        let tracing = self.config.trace_enabled();
+
+        let mut slots = adversaries.take_all();
+        let mut node_inputs = Vec::with_capacity(n);
+        {
+            let mut out_links = out_links.drain(..);
+            let mut in_links = in_links.drain(..);
+            let mut to_host = to_host_txs.drain(..);
+            let mut from_host = from_host_rxs.drain(..);
+            for (i, adversary) in slots.drain(..).enumerate() {
+                node_inputs.push((
+                    NodeId::new(i as u32),
+                    out_links.next().expect("out links per node"),
+                    in_links.next().expect("in links per node"),
+                    to_host.next().expect("host uplink per node"),
+                    from_host.next().expect("host downlink per node"),
+                    adversary,
+                ));
+            }
+        }
+
+        let cube = self.cube;
+        let (node_results, host_result, host_metrics, host_events) =
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(n);
+                for (id, outs, ins, host_tx, host_rx, adversary) in node_inputs {
+                    let err_tx = err_tx.clone();
+                    let cancel = cancel.clone();
+                    let cost = &cost;
+                    let program = &program;
+                    handles.push(scope.spawn(move || {
+                        let mut ctx = NodeCtx::new(
+                            id, cube, cost, timeout, outs, ins, host_tx, host_rx, err_tx,
+                            cancel, adversary, tracing,
+                        );
+                        let result = program.run(&mut ctx);
+                        let (metrics, events) = ctx.finish();
+                        (id, result, metrics, events)
+                    }));
+                }
+
+                let mut host_ctx = HostCtx::new(
+                    cube,
+                    &cost,
+                    timeout,
+                    from_host_txs,
+                    to_host_rxs,
+                    err_tx.clone(),
+                    cancel.clone(),
+                    tracing,
+                );
+                let host_result = host_fn(&mut host_ctx);
+                let (host_metrics, host_events) = host_ctx.finish();
+
+                let mut node_results: Vec<_> =
+                    handles.into_iter().map(|h| h.join().expect("node thread panicked")).collect();
+                node_results.sort_by_key(|(id, ..)| *id);
+                (node_results, host_result, host_metrics, host_events)
+            });
+
+        drop(err_tx);
+        let mut reports: Vec<ErrorReport> = err_rx.try_iter().collect();
+        reports.sort_by_key(|a| (a.at, a.detector));
+
+        let mut outputs = Vec::with_capacity(n);
+        let mut runtime_failures: Vec<(NodeId, SimError)> = Vec::new();
+        let mut node_metrics: Vec<NodeMetrics> = Vec::with_capacity(n);
+        let mut event_parts = Vec::with_capacity(n + 1);
+        for (id, result, metrics, events) in node_results {
+            node_metrics.push(metrics);
+            event_parts.push(events);
+            match result {
+                Ok(output) => outputs.push(output),
+                Err(err) => runtime_failures.push((id, err)),
+            }
+        }
+        event_parts.push(host_events);
+
+        // A node that died without *anyone* signalling (e.g. starved by a
+        // mute neighbor before any assertion could fire) still fails the
+        // run; once a real diagnostic exists, secondary runtime casualties
+        // of the fail-stop (closed links, cancellations) are not reported.
+        if reports.is_empty() {
+            for (id, err) in &runtime_failures {
+                reports.push(ErrorReport {
+                    detector: *id,
+                    at: node_metrics[id.index()].finished_at,
+                    code: 0,
+                    stage: None,
+                    suspect: match err {
+                        SimError::MissingMessage { from, .. }
+                        | SimError::LinkClosed { peer: from } => Some(*from),
+                        _ => None,
+                    },
+                    detail: format!("runtime failure: {err}"),
+                });
+            }
+        }
+
+        let outcome = if runtime_failures.is_empty() && reports.is_empty() {
+            Outcome::Completed(outputs)
+        } else {
+            Outcome::FailStop { reports }
+        };
+
+        let report = RunReport {
+            outcome,
+            metrics: RunMetrics {
+                nodes: node_metrics,
+                host: host_metrics,
+            },
+            trace: Trace::from_parts(event_parts),
+        };
+        (report, host_result)
+    }
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Engine on {}", self.cube)
+    }
+}

@@ -1,0 +1,98 @@
+use std::fmt;
+
+use aoft_hypercube::NodeId;
+
+use crate::Ticks;
+
+/// A value that can travel over a simulated link.
+///
+/// The only requirement beyond thread-mobility is [`wire_size`]: the number
+/// of 32-bit words the value occupies on the wire, which drives the `β·len`
+/// term of the communication cost model. The paper sorts 32-bit integers, so
+/// a key is one word.
+///
+/// [`wire_size`]: Payload::wire_size
+pub trait Payload: Clone + Send + fmt::Debug + 'static {
+    /// Size of this value on the wire, in 32-bit words.
+    fn wire_size(&self) -> usize;
+}
+
+/// A minimal one-word payload for tests and examples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Word(pub u32);
+
+impl Payload for Word {
+    fn wire_size(&self) -> usize {
+        1
+    }
+}
+
+impl Payload for u32 {
+    fn wire_size(&self) -> usize {
+        1
+    }
+}
+
+impl Payload for i64 {
+    fn wire_size(&self) -> usize {
+        2
+    }
+}
+
+impl<T: Payload> Payload for Vec<T> {
+    /// One word of length framing plus the elements.
+    fn wire_size(&self) -> usize {
+        1 + self.iter().map(Payload::wire_size).sum::<usize>()
+    }
+}
+
+/// A payload in flight: the envelope the runtime wraps around program data.
+#[derive(Debug, Clone)]
+pub struct Packet<M> {
+    /// The sending endpoint ([`HOST_ID`](crate::HOST_ID) for host traffic).
+    pub src: NodeId,
+    /// The receiving endpoint.
+    pub dst: NodeId,
+    /// Virtual instant at which the payload is fully available at `dst`
+    /// (sender clock after charging the transfer).
+    pub available_at: Ticks,
+    /// Sequence number of this send at the sender, starting from 0.
+    pub seq: u64,
+    /// The program-level data.
+    pub payload: M,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_sizes() {
+        assert_eq!(Word(7).wire_size(), 1);
+        assert_eq!(42u32.wire_size(), 1);
+        assert_eq!((-3i64).wire_size(), 2);
+    }
+
+    #[test]
+    fn vec_size_includes_framing() {
+        let v: Vec<u32> = vec![1, 2, 3];
+        assert_eq!(v.wire_size(), 4);
+        let nested: Vec<Vec<u32>> = vec![vec![1], vec![2, 3]];
+        assert_eq!(nested.wire_size(), 1 + 2 + 3);
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(empty.wire_size(), 1);
+    }
+
+    #[test]
+    fn packet_carries_envelope() {
+        let p = Packet {
+            src: NodeId::new(1),
+            dst: NodeId::new(3),
+            available_at: Ticks::from_ticks(9),
+            seq: 4,
+            payload: Word(11),
+        };
+        assert_eq!(p.payload.0, 11);
+        assert_eq!(p.available_at.as_ticks(), 9);
+    }
+}

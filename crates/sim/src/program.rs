@@ -1,0 +1,58 @@
+use crate::{NodeCtx, Payload, SimError};
+
+/// A node program in the SPMD style of the paper's Figures 2 and 3: the same
+/// code runs on every node, branching on `ctx.id()`.
+///
+/// The program value is shared by reference across all node threads, so it
+/// must be [`Sync`]; per-node mutable state lives in local variables of
+/// [`run`](Program::run).
+///
+/// # Examples
+///
+/// A program where every node reports its own label:
+///
+/// ```
+/// use aoft_hypercube::Hypercube;
+/// use aoft_sim::{Engine, NodeCtx, Program, SimConfig, SimError, Word};
+///
+/// struct WhoAmI;
+///
+/// impl Program<Word> for WhoAmI {
+///     type Output = u32;
+///     fn run(&self, ctx: &mut NodeCtx<'_, Word>) -> Result<u32, SimError> {
+///         Ok(ctx.id().raw())
+///     }
+/// }
+///
+/// let engine = Engine::new(Hypercube::new(2)?, SimConfig::default());
+/// let report = engine.run(&WhoAmI);
+/// assert_eq!(report.outputs(), Some(&[0, 1, 2, 3][..]));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub trait Program<M: Payload>: Sync {
+    /// Per-node result returned to the engine on completion.
+    type Output: Send + 'static;
+
+    /// Executes this node's share of the computation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] when the run is cancelled, a message goes
+    /// missing, or a link closes. A program that detects an application-level
+    /// violation should call [`NodeCtx::signal_error`] first and then return
+    /// the triggering error (or [`SimError::Cancelled`]).
+    fn run(&self, ctx: &mut NodeCtx<'_, M>) -> Result<Self::Output, SimError>;
+}
+
+impl<M, F, T> Program<M> for F
+where
+    M: Payload,
+    T: Send + 'static,
+    F: Fn(&mut NodeCtx<'_, M>) -> Result<T, SimError> + Sync,
+{
+    type Output = T;
+
+    fn run(&self, ctx: &mut NodeCtx<'_, M>) -> Result<T, SimError> {
+        self(ctx)
+    }
+}

@@ -1,0 +1,183 @@
+//! Virtual-time semantics: the Lamport max rule, cost charging, idle
+//! accounting and end-to-end determinism of the simulated clock.
+
+use std::time::Duration;
+
+use aoft_hypercube::{Hypercube, NodeId};
+use aoft_sim::{CostModel, Engine, NodeCtx, Program, SimConfig, SimError, Ticks, Word};
+use proptest::prelude::*;
+
+fn engine_with(cost: CostModel, dim: u32) -> Engine {
+    Engine::new(
+        Hypercube::new(dim).unwrap(),
+        SimConfig::new()
+            .cost_model(cost)
+            .recv_timeout(Duration::from_millis(500)),
+    )
+}
+
+/// A two-node pipeline: node 0 computes `work` ticks then sends; node 1
+/// receives and computes `work` more.
+struct Pipeline {
+    work: u64,
+}
+
+impl Program<Word> for Pipeline {
+    type Output = (u64, u64, u64); // (now, idle_observable?, compute)
+
+    fn run(&self, ctx: &mut NodeCtx<'_, Word>) -> Result<Self::Output, SimError> {
+        if ctx.id().raw() == 0 {
+            ctx.charge(Ticks::from_ticks(self.work));
+            ctx.send(NodeId::new(1), Word(1))?;
+        } else {
+            ctx.recv_from(NodeId::new(0))?;
+            ctx.charge(Ticks::from_ticks(self.work));
+        }
+        Ok((ctx.now().as_ticks(), 0, 0))
+    }
+}
+
+#[test]
+fn pipeline_critical_path_adds_up() {
+    // Unit model: send cost = α + β = 2 ticks.
+    let engine = engine_with(CostModel::unit(), 1);
+    let report = engine.run(&Pipeline { work: 10 });
+    let metrics = report.metrics();
+    // Node 0: 10 compute + 2 send = 12. Node 1: sync to 12, + 10 = 22.
+    assert_eq!(metrics.nodes[0].finished_at, Ticks::from_ticks(12));
+    assert_eq!(metrics.nodes[1].finished_at, Ticks::from_ticks(22));
+    assert_eq!(metrics.nodes[1].idle_time, Ticks::from_ticks(12));
+    assert_eq!(metrics.elapsed(), Ticks::from_ticks(22));
+}
+
+#[test]
+fn receiver_ahead_of_sender_accrues_no_idle() {
+    // Node 1 computes longer than node 0 takes to send: the message waits
+    // in the queue, the receive is free.
+    struct Busy;
+    impl Program<Word> for Busy {
+        type Output = u64;
+        fn run(&self, ctx: &mut NodeCtx<'_, Word>) -> Result<u64, SimError> {
+            if ctx.id().raw() == 0 {
+                ctx.send(NodeId::new(1), Word(0))?;
+            } else {
+                ctx.charge(Ticks::from_ticks(100));
+                ctx.recv_from(NodeId::new(0))?;
+            }
+            Ok(ctx.now().as_ticks())
+        }
+    }
+    let engine = engine_with(CostModel::unit(), 1);
+    let report = engine.run(&Busy);
+    assert_eq!(report.metrics().nodes[1].idle_time, Ticks::ZERO);
+    assert_eq!(
+        report.metrics().nodes[1].finished_at,
+        Ticks::from_ticks(100),
+        "clock does not move backwards nor jump forward"
+    );
+}
+
+#[test]
+fn wire_size_drives_send_cost() {
+    struct SendVec(usize);
+    impl Program<Vec<u32>> for SendVec {
+        type Output = ();
+        fn run(&self, ctx: &mut NodeCtx<'_, Vec<u32>>) -> Result<(), SimError> {
+            if ctx.id().raw() == 0 {
+                ctx.send(NodeId::new(1), vec![7u32; self.0])?;
+            } else {
+                ctx.recv_from(NodeId::new(0))?;
+            }
+            Ok(())
+        }
+    }
+    let engine = engine_with(CostModel::unit(), 1);
+    let small = engine.run(&SendVec(4)).metrics().nodes[0].send_time;
+    let large = engine.run(&SendVec(64)).metrics().nodes[0].send_time;
+    // Unit model: cost = 1 + (len + 1 framing) ticks.
+    assert_eq!(small, Ticks::from_ticks(6));
+    assert_eq!(large, Ticks::from_ticks(66));
+}
+
+#[test]
+fn ncube_model_charges_fractional_words() {
+    // β = 0.025 ticks/word must accumulate exactly in milliticks.
+    let engine = engine_with(CostModel::ncube_1989(), 1);
+    struct OneWord;
+    impl Program<Word> for OneWord {
+        type Output = ();
+        fn run(&self, ctx: &mut NodeCtx<'_, Word>) -> Result<(), SimError> {
+            if ctx.id().raw() == 0 {
+                ctx.send(NodeId::new(1), Word(1))?;
+            } else {
+                ctx.recv_from(NodeId::new(0))?;
+            }
+            Ok(())
+        }
+    }
+    let report = engine.run(&OneWord);
+    assert_eq!(
+        report.metrics().nodes[0].send_time.as_millis(),
+        16_000 + 25
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The pipeline end time is exactly 2·work + send for any work amount —
+    /// virtual time is deterministic arithmetic, not measurement.
+    #[test]
+    fn pipeline_time_formula(work in 0u64..10_000) {
+        let engine = engine_with(CostModel::unit(), 1);
+        let report = engine.run(&Pipeline { work });
+        prop_assert_eq!(
+            report.metrics().elapsed(),
+            Ticks::from_ticks(2 * work + 2)
+        );
+    }
+
+    /// Tick arithmetic round-trips through milliticks.
+    #[test]
+    fn ticks_round_trip(millis in 0u64..10_000_000) {
+        let t = Ticks::from_millis(millis);
+        prop_assert_eq!(t.as_millis(), millis);
+        prop_assert_eq!(t.as_ticks(), millis / 1000);
+        prop_assert!((t.as_ticks_f64() - millis as f64 / 1000.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn ring_relay_accumulates_latency() {
+    // A message relayed around a 8-node Gray-code ring: the final clock
+    // must be exactly hops × send_cost.
+    struct Relay {
+        ring: Vec<NodeId>,
+    }
+    impl Program<Word> for Relay {
+        type Output = u64;
+        fn run(&self, ctx: &mut NodeCtx<'_, Word>) -> Result<u64, SimError> {
+            let pos = self
+                .ring
+                .iter()
+                .position(|&n| n == ctx.id())
+                .expect("every node is on the ring");
+            if pos == 0 {
+                ctx.send(self.ring[1], Word(0))?;
+            } else {
+                let w = ctx.recv_from(self.ring[pos - 1])?;
+                if pos + 1 < self.ring.len() {
+                    ctx.send(self.ring[pos + 1], Word(w.0 + 1))?;
+                }
+            }
+            Ok(ctx.now().as_ticks())
+        }
+    }
+    let ring = aoft_hypercube::gray::ring_embedding(3);
+    let engine = engine_with(CostModel::unit(), 3);
+    let report = engine.run(&Relay { ring: ring.clone() });
+    let outputs = report.outputs().unwrap();
+    // Node at ring position 7 received after 7 sends of 2 ticks each.
+    let last = ring[7].index();
+    assert_eq!(outputs[last], 14);
+}

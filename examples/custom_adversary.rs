@@ -1,0 +1,73 @@
+//! Writing your own Byzantine adversary.
+//!
+//! The built-in fault classes live in `aoft::faults`; anything else is one
+//! trait impl away. This example builds a *targeted* adversary that swaps
+//! the two data values it relays during one specific exchange step — a
+//! minimal, surgical fault — and shows the feasibility predicate catching
+//! the resulting duplicate/loss at the next stage boundary.
+//!
+//! ```text
+//! cargo run --example custom_adversary
+//! ```
+
+use aoft::hypercube::Hypercube;
+use aoft::sim::{Action, Adversary, AdversarySet, Engine, SendContext, SimConfig};
+use aoft::sort::{block, Block, Msg, SftProgram};
+
+/// Replaces the data operand of one specific send with a forged block,
+/// leaving the piggybacked sequence untouched — the checks must correlate
+/// the two to notice.
+struct ForgeOnce {
+    at_seq: u64,
+    forged: Vec<i32>,
+}
+
+impl Adversary<Msg> for ForgeOnce {
+    fn intercept(&mut self, ctx: &SendContext, payload: Msg) -> Action<Msg> {
+        if ctx.seq != self.at_seq {
+            return Action::Deliver(payload);
+        }
+        match payload {
+            Msg::Tagged { lbs, .. } => Action::Deliver(Msg::Tagged {
+                data: Block::from_wire(self.forged.clone()),
+                lbs,
+            }),
+            other => Action::Deliver(other),
+        }
+    }
+
+    fn label(&self) -> &str {
+        "forge-once"
+    }
+}
+
+fn main() {
+    let keys: Vec<i32> = (0..16).map(|x| (x * 53 + 11) % 101).collect();
+    let engine = Engine::new(
+        Hypercube::new(4).expect("small cube"),
+        SimConfig::new().recv_timeout(std::time::Duration::from_millis(500)),
+    );
+
+    let mut adversaries = AdversarySet::honest(16);
+    adversaries.install(
+        aoft::hypercube::NodeId::new(9),
+        Box::new(ForgeOnce {
+            at_seq: 2,             // third send: a stage-1 exchange
+            forged: vec![-12345],  // sorted-looking but foreign value
+        }),
+    );
+
+    let program = SftProgram::new(block::distribute(&keys, 16));
+    let report = engine.run_faulty(&program, adversaries);
+
+    assert!(report.is_fail_stop(), "the forged operand must be caught");
+    println!("machine fail-stopped as designed; diagnostics delivered to the host:");
+    for r in report.reports() {
+        println!("  {r}");
+    }
+    println!(
+        "\n(the forged value is locally plausible — it is only the stage-boundary\n\
+         feasibility check Φ_F, comparing against the piggybacked previous\n\
+         sequence, that can tell it was never part of the input)"
+    );
+}

@@ -1,0 +1,42 @@
+//! Scaling study: measure small machines, fit the paper's cost forms, and
+//! project to the machine sizes "we are concerned with in a real
+//! multicomputer application" (Figures 6 + 7 in one sitting).
+//!
+//! ```text
+//! cargo run --release --example scaling_study
+//! ```
+
+use aoft::models::complexity::ModelConstants;
+use aoft::models::experiments::{fig7, table1};
+use aoft::sort::{Algorithm, SortBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Measured sizes (the paper had a 32-node cube; we can go bigger).
+    println!("measured (ticks):");
+    println!("{:>6} {:>12} {:>12} {:>12}", "N", "S_NR", "S_FT", "host-seq");
+    for dim in 2..=6u32 {
+        let nodes = 1usize << dim;
+        let keys: Vec<i32> = (0..nodes as i32).map(|x| (x * 37 + 5) % 211).collect();
+        let mut row = vec![format!("{nodes:>6}")];
+        for algorithm in [
+            Algorithm::NonRedundant,
+            Algorithm::FaultTolerant,
+            Algorithm::HostSequential,
+        ] {
+            let report = SortBuilder::new(algorithm).keys(keys.clone()).run()?;
+            row.push(format!("{:>12}", report.elapsed().to_string()));
+        }
+        println!("{}", row.join(" "));
+    }
+
+    // Fit our measurements to the paper's functional forms...
+    let table = table1::run(7, 0xCAFE);
+    println!("\n{table}");
+
+    // ...and project, side by side with the paper's own constants.
+    let ours = fig7::run(table.fitted, "fitted (this reproduction)", 5, 20);
+    let paper = fig7::run(ModelConstants::PAPER, "paper", 5, 20);
+    println!("{ours}");
+    println!("{paper}");
+    Ok(())
+}

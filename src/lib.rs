@@ -1,0 +1,42 @@
+//! # AOFT — Reliable Distributed Sorting through Application-Oriented Fault Tolerance
+//!
+//! A reproduction of McMillin & Ni, *"Reliable Distributed Sorting Through the
+//! Application-Oriented Fault Tolerance Paradigm"* (ICDCS 1989): fault-tolerant
+//! bitonic sorting on a simulated hypercube multicomputer.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`hypercube`] — topology, home subcubes, node-set masks, disjoint paths.
+//! * [`sim`] — thread-per-node multicomputer simulator with virtual-time cost
+//!   accounting, a host processor, metrics and tracing.
+//! * [`faults`] — Byzantine adversaries, fault plans and coverage campaigns.
+//! * [`sort`] — the paper's contribution: the non-redundant bitonic sort
+//!   `S_NR`, the fault-tolerant `S_FT` with the constraint predicate
+//!   (Φ_P, Φ_F, Φ_C), block variants, and the host-sequential baselines.
+//! * [`models`] — analytic cost models and the experiment harness that
+//!   regenerates every table and figure of the paper.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use aoft::sort::{SortBuilder, Algorithm};
+//!
+//! // Sort 8 values, one per node of a 3-dimensional hypercube, with the
+//! // fault-tolerant algorithm S_FT.
+//! let input = vec![10, 8, 3, 9, 4, 2, 7, 5];
+//! let report = SortBuilder::new(Algorithm::FaultTolerant)
+//!     .keys(input.clone())
+//!     .run()?;
+//! let mut expected = input;
+//! expected.sort();
+//! assert_eq!(report.output(), &expected[..]);
+//! # Ok::<(), aoft::sort::SortError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use aoft_faults as faults;
+pub use aoft_hypercube as hypercube;
+pub use aoft_models as models;
+pub use aoft_sim as sim;
+pub use aoft_sort as sort;

@@ -1,0 +1,245 @@
+//! The empirical Theorem 3: under injected Byzantine faults (within the
+//! paper's environmental assumptions), `S_FT` either completes correctly or
+//! fail-stops — across fault classes, locations, triggers and fault counts
+//! it never silently returns a wrong result.
+
+use std::time::Duration;
+
+use aoft::faults::{FaultKind, FaultPlan, Trigger};
+use aoft::hypercube::NodeId;
+use aoft::sort::{Algorithm, SortBuilder, SortError};
+use proptest::prelude::*;
+
+#[derive(Debug, PartialEq)]
+enum Outcome {
+    Correct,
+    Detected,
+    SilentlyWrong,
+}
+
+fn sft_outcome(plan: FaultPlan, keys: &[i32]) -> Outcome {
+    let mut expected = keys.to_vec();
+    expected.sort_unstable();
+    let result = SortBuilder::new(Algorithm::FaultTolerant)
+        .keys(keys.to_vec())
+        .fault_plan(plan)
+        .recv_timeout(Duration::from_millis(400))
+        .run();
+    match result {
+        Ok(report) if report.output() == expected => Outcome::Correct,
+        Ok(_) => Outcome::SilentlyWrong,
+        Err(SortError::Detected { .. }) => Outcome::Detected,
+        Err(other) => panic!("unexpected runner error: {other}"),
+    }
+}
+
+fn demo_keys(nodes: usize) -> Vec<i32> {
+    (0..nodes as i32).map(|x| (x * 73 + 7) % 97).collect()
+}
+
+#[test]
+fn every_fault_class_at_every_node_is_safe() {
+    let nodes = 8;
+    let keys = demo_keys(nodes);
+    let mut detections = 0;
+    for kind in FaultKind::ALL {
+        for node in 0..nodes as u32 {
+            let plan = FaultPlan::new().with_fault(
+                NodeId::new(node),
+                kind,
+                Trigger::from_seq(1),
+                u64::from(node) * 31 + 1,
+            );
+            let outcome = sft_outcome(plan, &keys);
+            assert_ne!(
+                outcome,
+                Outcome::SilentlyWrong,
+                "{kind} at P{node} escaped detection"
+            );
+            if outcome == Outcome::Detected {
+                detections += 1;
+            }
+        }
+    }
+    assert!(
+        detections > FaultKind::ALL.len(),
+        "the campaign must actually trip the predicates ({detections} detections)"
+    );
+}
+
+#[test]
+fn corrupt_value_is_always_detected_when_it_changes_data() {
+    // A bit-flip fault that manifests mid-run always lands in either the
+    // operand or the piggybacked sequence; both paths must be caught.
+    let nodes = 16;
+    let keys = demo_keys(nodes);
+    let mut detected = 0;
+    let mut trials = 0;
+    for node in 0..nodes as u32 {
+        for at in 1..=6u64 {
+            let plan = FaultPlan::new().with_fault(
+                NodeId::new(node),
+                FaultKind::CorruptValue,
+                Trigger::at_seq(at),
+                at * 131 + u64::from(node),
+            );
+            trials += 1;
+            match sft_outcome(plan, &keys) {
+                Outcome::SilentlyWrong => panic!("corruption escaped at P{node}, seq {at}"),
+                Outcome::Detected => detected += 1,
+                Outcome::Correct => {}
+            }
+        }
+    }
+    // A single bit flip is practically always observable.
+    assert!(
+        detected * 10 >= trials * 9,
+        "only {detected}/{trials} corruptions detected"
+    );
+}
+
+#[test]
+fn two_faced_sends_are_caught_by_consistency() {
+    let nodes = 16;
+    let keys = demo_keys(nodes);
+    for node in 0..nodes as u32 {
+        let plan = FaultPlan::new().with_fault(
+            NodeId::new(node),
+            FaultKind::TwoFaced,
+            Trigger::from_seq(1),
+            u64::from(node) + 77,
+        );
+        let outcome = sft_outcome(plan, &keys);
+        assert_ne!(outcome, Outcome::SilentlyWrong, "two-faced P{node} escaped");
+    }
+}
+
+#[test]
+fn message_loss_fail_stops_via_timeout() {
+    let keys = demo_keys(8);
+    let plan = FaultPlan::new().with_fault(
+        NodeId::new(3),
+        FaultKind::Crash,
+        Trigger::from_seq(2),
+        0,
+    );
+    assert_eq!(sft_outcome(plan, &keys), Outcome::Detected);
+}
+
+#[test]
+fn multi_fault_pairs_stay_safe() {
+    // Theorem 3 tolerates up to n−1 faults; on a dim-3 cube that is two
+    // faulty nodes.
+    let nodes = 8;
+    let keys = demo_keys(nodes);
+    for a in 0..nodes as u32 {
+        for b in (a + 1)..nodes as u32 {
+            let plan = FaultPlan::new()
+                .with_fault(
+                    NodeId::new(a),
+                    FaultKind::RandomByzantine,
+                    Trigger::from_seq(1),
+                    u64::from(a) * 7 + 1,
+                )
+                .with_fault(
+                    NodeId::new(b),
+                    FaultKind::RandomByzantine,
+                    Trigger::from_seq(1),
+                    u64::from(b) * 13 + 5,
+                );
+            assert_ne!(
+                sft_outcome(plan, &keys),
+                Outcome::SilentlyWrong,
+                "pair (P{a}, P{b}) escaped"
+            );
+        }
+    }
+}
+
+#[test]
+fn late_faults_in_final_verification_are_caught() {
+    // Faults that first manifest during the pure-exchange stage can only
+    // corrupt the verification copies — the consistency checks there must
+    // catch them (or the fault is harmless to the output).
+    let nodes = 8;
+    let keys = demo_keys(nodes);
+    for node in 0..nodes as u32 {
+        // Sends per node: 6 main-loop + 3 final-stage; target the tail.
+        for at in 6..=8u64 {
+            let plan = FaultPlan::new().with_fault(
+                NodeId::new(node),
+                FaultKind::CorruptValue,
+                Trigger::at_seq(at),
+                at ^ u64::from(node),
+            );
+            assert_ne!(
+                sft_outcome(plan, &keys),
+                Outcome::SilentlyWrong,
+                "late fault at P{node} seq {at} escaped"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_single_fault_never_silently_wrong(
+        node in 0u32..16,
+        kind_idx in 0usize..FaultKind::ALL.len(),
+        from_seq in 1u64..8,
+        seed in any::<u64>(),
+    ) {
+        let keys = demo_keys(16);
+        let plan = FaultPlan::new().with_fault(
+            NodeId::new(node),
+            FaultKind::ALL[kind_idx],
+            Trigger::from_seq(from_seq),
+            seed,
+        );
+        prop_assert_ne!(sft_outcome(plan, &keys), Outcome::SilentlyWrong);
+    }
+
+    #[test]
+    fn random_probabilistic_fault_never_silently_wrong(
+        node in 0u32..8,
+        probability in 0.1f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let keys = demo_keys(8);
+        let plan = FaultPlan::new().with_fault(
+            NodeId::new(node),
+            FaultKind::RandomByzantine,
+            Trigger { from: 1, until: u64::MAX, probability },
+            seed,
+        );
+        prop_assert_ne!(sft_outcome(plan, &keys), Outcome::SilentlyWrong);
+    }
+}
+
+#[test]
+fn detection_reports_identify_a_predicate() {
+    // When a data corruption is detected, the report must carry a
+    // meaningful violation code (1..=9), not a bare runtime failure.
+    let keys = demo_keys(16);
+    let plan = FaultPlan::new().with_fault(
+        NodeId::new(2),
+        FaultKind::TwoFaced,
+        Trigger::from_seq(1),
+        3,
+    );
+    match SortBuilder::new(Algorithm::FaultTolerant)
+        .keys(keys)
+        .fault_plan(plan)
+        .run()
+    {
+        Err(SortError::Detected { reports }) => {
+            assert!(!reports.is_empty());
+            for report in &reports {
+                assert!((1..=9).contains(&report.code), "report: {report}");
+            }
+        }
+        other => panic!("expected detection, got {other:?}"),
+    }
+}

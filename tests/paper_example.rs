@@ -1,0 +1,171 @@
+//! The paper pinned down: Figure 5's worked example, the complexity claims
+//! of Section 5, and the message-complexity headline of Section 3.
+
+use aoft::sim::Ticks;
+use aoft::sort::{bitonic, Algorithm, SortBuilder};
+
+const FIGURE5_INPUT: [i32; 8] = [10, 8, 3, 9, 4, 2, 7, 5];
+const FIGURE5_OUTPUT: [i32; 8] = [2, 3, 4, 5, 7, 8, 9, 10];
+
+#[test]
+fn figure5_input_sorts_on_all_algorithms() {
+    for algorithm in Algorithm::ALL {
+        let report = SortBuilder::new(algorithm)
+            .keys(FIGURE5_INPUT.to_vec())
+            .run()
+            .unwrap_or_else(|e| panic!("{algorithm}: {e}"));
+        assert_eq!(report.output(), FIGURE5_OUTPUT, "{algorithm}");
+    }
+}
+
+#[test]
+fn figure5_stage_intermediates_match_lemma2() {
+    // Lemma 2: after stage i, every subcube of size 2^{i+2} holds a bitonic
+    // sequence. Reproduce the in-memory schedule and check each stage.
+    let mut values = FIGURE5_INPUT.to_vec();
+    for stage in 0..3u32 {
+        let span = 1usize << (stage + 1);
+        for (idx, chunk) in values.chunks_mut(span).enumerate() {
+            let start = aoft::hypercube::NodeId::new((idx * span) as u32);
+            let sub = aoft::hypercube::Subcube::home(stage + 1, start);
+            bitonic::bitonic_sort(chunk, aoft::sort::subcube_ascending(sub));
+        }
+        let merged_span = (2 * span).min(values.len());
+        for chunk in values.chunks(merged_span) {
+            assert!(
+                bitonic::is_bitonic(chunk),
+                "stage {stage}: {chunk:?} not bitonic"
+            );
+        }
+    }
+    assert_eq!(values, FIGURE5_OUTPUT);
+}
+
+#[test]
+fn snr_message_count_is_n_choose_schedule() {
+    // S_NR: each node sends exactly n(n+1)/2 messages (one per (i,j) step).
+    for dim in 1..=5u32 {
+        let nodes = 1usize << dim;
+        let keys: Vec<i32> = (0..nodes as i32).rev().collect();
+        let report = SortBuilder::new(Algorithm::NonRedundant)
+            .keys(keys)
+            .run()
+            .unwrap();
+        let expected_per_node = u64::from(dim) * (u64::from(dim) + 1) / 2;
+        let total = report.metrics().node_total().msgs_sent;
+        assert_eq!(total, expected_per_node * nodes as u64, "dim {dim}");
+    }
+}
+
+#[test]
+fn sft_adds_only_the_final_verification_messages() {
+    // Section 3: piggybacking gives "no increase in message complexity";
+    // the only extra messages are the final pure-exchange stage (n per
+    // node).
+    for dim in 1..=5u32 {
+        let nodes = 1usize << dim;
+        let keys: Vec<i32> = (0..nodes as i32).rev().collect();
+        let snr = SortBuilder::new(Algorithm::NonRedundant)
+            .keys(keys.clone())
+            .run()
+            .unwrap();
+        let sft = SortBuilder::new(Algorithm::FaultTolerant)
+            .keys(keys)
+            .run()
+            .unwrap();
+        let extra =
+            sft.metrics().node_total().msgs_sent - snr.metrics().node_total().msgs_sent;
+        assert_eq!(extra, u64::from(dim) * nodes as u64, "dim {dim}");
+    }
+}
+
+#[test]
+fn sft_word_volume_grows_like_n_log_n() {
+    // Theorem 4's communication bound: total piggyback volume is
+    // Θ(N·log₂N) words machine-wide per node... i.e. Θ(N²·log N) summed.
+    // Check the per-node critical-path volume ratio between successive
+    // machine sizes approaches 2·(n+1)/n (doubling N roughly doubles the
+    // per-node volume).
+    let mut volumes = Vec::new();
+    for dim in 2..=6u32 {
+        let nodes = 1usize << dim;
+        let keys: Vec<i32> = (0..nodes as i32).rev().collect();
+        let report = SortBuilder::new(Algorithm::FaultTolerant)
+            .keys(keys)
+            .run()
+            .unwrap();
+        let max_words = report
+            .metrics()
+            .nodes
+            .iter()
+            .map(|m| m.words_sent)
+            .max()
+            .unwrap();
+        volumes.push(max_words as f64);
+    }
+    for w in volumes.windows(2) {
+        let growth = w[1] / w[0];
+        assert!(
+            (1.6..=2.9).contains(&growth),
+            "per-node word volume should roughly double per dimension: {growth}"
+        );
+    }
+}
+
+#[test]
+fn sft_compute_time_grows_linearly_in_n() {
+    // Theorem 4: S_FT computation is O(N) per node. Doubling the machine
+    // should roughly double critical-path compute time (not quadruple it).
+    let mut comps = Vec::new();
+    for dim in 3..=7u32 {
+        let nodes = 1usize << dim;
+        let keys: Vec<i32> = (0..nodes as i32).rev().collect();
+        let report = SortBuilder::new(Algorithm::FaultTolerant)
+            .keys(keys)
+            .run()
+            .unwrap();
+        comps.push(report.metrics().max_node_compute_time().as_ticks_f64());
+    }
+    for w in comps.windows(2) {
+        let growth = w[1] / w[0];
+        assert!(
+            (1.5..=2.6).contains(&growth),
+            "compute should scale ~linearly with N: growth {growth}"
+        );
+    }
+}
+
+#[test]
+fn virtual_times_are_exactly_reproducible() {
+    let run = || {
+        SortBuilder::new(Algorithm::FaultTolerant)
+            .keys(FIGURE5_INPUT.to_vec())
+            .run()
+            .unwrap()
+            .elapsed()
+    };
+    let first = run();
+    assert!(first > Ticks::ZERO);
+    for _ in 0..3 {
+        assert_eq!(run(), first);
+    }
+}
+
+#[test]
+fn all_nodes_see_the_final_exchange() {
+    // With tracing on, every node must log n final-stage sends of pure-LBS
+    // messages (Msg::Lbs) — the paper's trailing verification loop.
+    let report = SortBuilder::new(Algorithm::FaultTolerant)
+        .keys(FIGURE5_INPUT.to_vec())
+        .trace(true)
+        .run()
+        .unwrap();
+    for node in 0..8u32 {
+        let sends = report
+            .trace()
+            .for_node(aoft::hypercube::NodeId::new(node))
+            .filter(|e| matches!(e.kind, aoft::sim::EventKind::Send { .. }))
+            .count();
+        assert_eq!(sends, 6 + 3, "P{node}: 6 main-loop + 3 final sends");
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests of the constraint-predicate building blocks: the
+//! invariants the correctness argument (Lemmas 1–6) rests on.
+
+use aoft::hypercube::{NodeId, Subcube};
+use aoft::sort::predicates::{is_merge_of, vect_mask, vect_mask_before, vect_mask_recursive};
+use aoft::sort::{bitonic, Block};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `is_merge_of` is exactly multiset equality for sorted inputs.
+    #[test]
+    fn merge_of_iff_multiset_equal(
+        mut a in prop::collection::vec(-50i32..50, 0..20),
+        mut b in prop::collection::vec(-50i32..50, 0..20),
+        shuffle_seed in any::<u64>(),
+    ) {
+        a.sort_unstable();
+        b.sort_unstable();
+        // True merge: must pass.
+        let mut target: Vec<i32> = a.iter().chain(b.iter()).copied().collect();
+        target.sort_unstable();
+        prop_assert!(is_merge_of(&target, &a, &b));
+
+        // Perturb one element: must fail (multiset changed).
+        if !target.is_empty() {
+            let idx = (shuffle_seed as usize) % target.len();
+            let mut bad = target.clone();
+            bad[idx] = bad[idx].wrapping_add(1);
+            bad.sort_unstable();
+            prop_assert!(!is_merge_of(&bad, &a, &b));
+        }
+    }
+
+    /// Lemma 1: one compare-exchange sweep splits a bitonic sequence into
+    /// two bitonic halves with every low element ≤ every high element.
+    #[test]
+    fn half_clean_lemma1(
+        rise in prop::collection::vec(-100i32..100, 1..17),
+        fall in prop::collection::vec(-100i32..100, 1..16),
+    ) {
+        // Build a bitonic sequence of power-of-two length.
+        let mut seq: Vec<i32> = Vec::new();
+        let mut rise = rise;
+        rise.sort_unstable();
+        let mut fall = fall;
+        fall.sort_unstable();
+        fall.reverse();
+        seq.extend(&rise);
+        seq.extend(&fall);
+        let len = seq.len().next_power_of_two();
+        let pad = seq.last().copied().unwrap_or(0);
+        while seq.len() < len {
+            seq.push(pad.saturating_sub(1).max(i32::MIN + 1) - 1);
+        }
+        prop_assume!(bitonic::is_bitonic(&seq));
+
+        bitonic::half_clean(&mut seq, true);
+        let half = seq.len() / 2;
+        {
+            // The halves are bitonic in the circular sense (the invariant
+            // the recursion actually needs) and bound each other.
+            let (low, high) = seq.split_at(half);
+            prop_assert!(bitonic::is_circular_bitonic(low), "{low:?}");
+            prop_assert!(bitonic::is_circular_bitonic(high), "{high:?}");
+            let max_low = low.iter().max().unwrap();
+            let min_high = high.iter().min().unwrap();
+            prop_assert!(max_low <= min_high);
+        }
+        // And recursive merging finishes the sort.
+        let mut expected = seq.clone();
+        expected.sort_unstable();
+        bitonic::bitonic_merge(&mut seq[..half], true);
+        bitonic::bitonic_merge(&mut seq[half..], true);
+        prop_assert_eq!(seq, expected);
+    }
+
+    /// The bitonic network sorts any input (oblivious correctness).
+    #[test]
+    fn bitonic_sort_oracle(
+        mut keys in prop::collection::vec(any::<i32>(), 0..7)
+            .prop_map(|mut v| { v.resize(v.len().next_power_of_two().max(1), 0); v }),
+        ascending in any::<bool>(),
+    ) {
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        if !ascending {
+            expected.reverse();
+        }
+        bitonic::bitonic_sort(&mut keys, ascending);
+        prop_assert_eq!(keys, expected);
+    }
+
+    /// Lemma 3: the closed-form `vect_mask` equals the paper's recursion.
+    #[test]
+    fn vect_mask_closed_equals_recursive(
+        stage in 0u32..6,
+        step_off in 0u32..6,
+        node_raw in 0u32..64,
+    ) {
+        let step = step_off.min(stage);
+        let node = NodeId::new(node_raw);
+        prop_assert_eq!(
+            vect_mask(64, stage, step, node),
+            vect_mask_recursive(64, stage, step, node)
+        );
+    }
+
+    /// The holdings mask is always confined to the stage's home subcube and
+    /// grows monotonically as the exchange descends the dimensions.
+    #[test]
+    fn vect_mask_confined_and_monotone(
+        stage in 0u32..6,
+        node_raw in 0u32..64,
+    ) {
+        let node = NodeId::new(node_raw);
+        let home = Subcube::home(stage + 1, node);
+        let mut previous = vect_mask_before(64, stage, stage, node);
+        for step in (0..=stage).rev() {
+            let after = vect_mask(64, stage, step, node);
+            prop_assert!(previous.is_subset_of(&after));
+            for member in after.iter() {
+                prop_assert!(home.contains(member));
+            }
+            if step > 0 {
+                prop_assert_eq!(vect_mask_before(64, stage, step - 1, node), after.clone());
+            }
+            previous = after;
+        }
+        prop_assert_eq!(previous.len(), home.len(), "full coverage at step 0");
+    }
+
+    /// Merge-split conserves the multiset and orders the halves.
+    #[test]
+    fn merge_split_conserves_and_orders(
+        a in prop::collection::vec(any::<i32>(), 1..32),
+        b_seed in any::<u64>(),
+    ) {
+        let m = a.len();
+        let b: Vec<i32> = a
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x.wrapping_add(((b_seed >> (i % 48)) & 0xFF) as i32 - 128))
+            .collect();
+        let block_a = Block::from_unsorted(a.clone());
+        let block_b = Block::from_unsorted(b.clone());
+        let (low, high) = block_a.merge_split(&block_b);
+
+        prop_assert_eq!(low.len(), m);
+        prop_assert_eq!(high.len(), m);
+        prop_assert!(low.is_sorted());
+        prop_assert!(high.is_sorted());
+        prop_assert!(low.max() <= high.min());
+
+        let mut merged: Vec<i32> = low.keys().iter().chain(high.keys()).copied().collect();
+        merged.sort_unstable();
+        let mut all: Vec<i32> = a.into_iter().chain(b).collect();
+        all.sort_unstable();
+        prop_assert_eq!(merged, all);
+    }
+}
+
+#[test]
+fn vect_mask_sizes_match_lemma3() {
+    // |vect_mask(i, j)| = 2^{i-j+1}.
+    for stage in 0..5u32 {
+        for step in 0..=stage {
+            let mask = vect_mask(64, stage, step, NodeId::new(37));
+            assert_eq!(mask.len(), 1 << (stage - step + 1));
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! End-to-end recovery workflow: detect → diagnose → retry, the
+//! "appropriate actions" loop the paper's diagnostic delivery enables.
+
+use std::time::Duration;
+
+use aoft::faults::{FaultKind, FaultPlan, Trigger};
+use aoft::hypercube::NodeId;
+use aoft::sort::{diagnosis, Algorithm, SortBuilder, SortError};
+
+fn builder() -> SortBuilder {
+    SortBuilder::new(Algorithm::FaultTolerant)
+        .keys((0..16).map(|x| (x * 97 + 13) % 61).collect())
+        .recv_timeout(Duration::from_millis(400))
+}
+
+#[test]
+fn detect_diagnose_retry_loop() {
+    // The environment: node P9 corrupts data during the first two attempts,
+    // then the transient clears.
+    let environment = |attempt: usize| {
+        if attempt < 2 {
+            FaultPlan::new().with_fault(
+                NodeId::new(9),
+                FaultKind::CorruptValue,
+                Trigger::from_seq(1),
+                attempt as u64 + 5,
+            )
+        } else {
+            FaultPlan::new()
+        }
+    };
+
+    let retry = builder()
+        .run_with_retry(4, environment)
+        .expect("third attempt succeeds");
+    assert_eq!(retry.attempts_used, 3);
+    assert_eq!(retry.detections.len(), 2);
+
+    // Diagnose each failed attempt: the suspect set must contain the truly
+    // faulty node every time.
+    for reports in &retry.detections {
+        let diagnosis = diagnosis::diagnose(reports, 4);
+        assert!(
+            diagnosis.suspects().contains(NodeId::new(9)),
+            "P9 should be suspect: {diagnosis}"
+        );
+    }
+
+    let mut expected: Vec<i32> = (0..16).map(|x| (x * 97 + 13) % 61).collect();
+    expected.sort_unstable();
+    assert_eq!(retry.report.output(), expected);
+}
+
+#[test]
+fn diagnosis_intersects_across_attempts() {
+    // Each attempt yields a (possibly broad) suspect region; intersecting
+    // the diagnoses across attempts narrows toward the recurring offender.
+    let environment = |attempt: usize| {
+        FaultPlan::new().with_fault(
+            NodeId::new(6),
+            FaultKind::TwoFaced,
+            Trigger::from_seq(1),
+            attempt as u64 * 31 + 7,
+        )
+    };
+    let Err(SortError::Detected { reports: first }) =
+        builder().fault_plan(environment(0)).run()
+    else {
+        panic!("attempt 0 must fail");
+    };
+    let Err(SortError::Detected { reports: second }) =
+        builder().fault_plan(environment(1)).run()
+    else {
+        panic!("attempt 1 must fail");
+    };
+
+    let a = diagnosis::diagnose(&first, 4);
+    let b = diagnosis::diagnose(&second, 4);
+    let combined = a.suspects() & b.suspects();
+    assert!(
+        combined.contains(NodeId::new(6)),
+        "recurring fault survives intersection: {a} ∩ {b}"
+    );
+    assert!(combined.len() <= a.suspects().len());
+    assert!(combined.len() <= b.suspects().len());
+}
+
+#[test]
+fn delayed_messages_never_produce_wrong_output() {
+    // The Delayer either stays harmless (late but FIFO-consistent delivery)
+    // or trips a timeout/protocol check — both acceptable, wrong output is
+    // not.
+    let mut expected: Vec<i32> = (0..16).map(|x| (x * 97 + 13) % 61).collect();
+    expected.sort_unstable();
+    for node in 0..16u32 {
+        for from in 1..5u64 {
+            let plan = FaultPlan::new().with_fault(
+                NodeId::new(node),
+                FaultKind::DelayMessages,
+                Trigger::window(from, from + 2),
+                u64::from(node) ^ from,
+            );
+            match builder().fault_plan(plan).run() {
+                Ok(report) => assert_eq!(report.output(), expected, "P{node} from {from}"),
+                Err(SortError::Detected { .. }) => {}
+                Err(other) => panic!("unexpected: {other}"),
+            }
+        }
+    }
+}

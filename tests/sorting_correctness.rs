@@ -1,0 +1,131 @@
+//! Cross-crate correctness: every algorithm sorts every input shape, with
+//! property-based coverage over keys, machine sizes and block sizes.
+
+use aoft::sort::{Algorithm, SortBuilder};
+use proptest::prelude::*;
+
+fn sorted_copy(keys: &[i32]) -> Vec<i32> {
+    let mut expected = keys.to_vec();
+    expected.sort_unstable();
+    expected
+}
+
+fn run(algorithm: Algorithm, keys: Vec<i32>, nodes: usize) -> Vec<i32> {
+    SortBuilder::new(algorithm)
+        .keys(keys)
+        .nodes(nodes)
+        .run()
+        .unwrap_or_else(|e| panic!("honest {algorithm} run failed: {e}"))
+        .output()
+        .to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn snr_sorts_any_input(
+        dim in 0u32..5,
+        m in prop::sample::select(vec![1usize, 2, 5]),
+        seed in any::<u64>(),
+    ) {
+        let nodes = 1usize << dim;
+        let keys = keys_from_seed(nodes * m, seed);
+        prop_assert_eq!(
+            run(Algorithm::NonRedundant, keys.clone(), nodes),
+            sorted_copy(&keys)
+        );
+    }
+
+    #[test]
+    fn sft_sorts_any_input(
+        dim in 0u32..5,
+        m in prop::sample::select(vec![1usize, 2, 5]),
+        seed in any::<u64>(),
+    ) {
+        let nodes = 1usize << dim;
+        let keys = keys_from_seed(nodes * m, seed);
+        prop_assert_eq!(
+            run(Algorithm::FaultTolerant, keys.clone(), nodes),
+            sorted_copy(&keys)
+        );
+    }
+
+    #[test]
+    fn host_baselines_sort_any_input(
+        dim in 1u32..4,
+        seed in any::<u64>(),
+    ) {
+        let nodes = 1usize << dim;
+        let keys = keys_from_seed(nodes * 3, seed);
+        prop_assert_eq!(
+            run(Algorithm::HostSequential, keys.clone(), nodes),
+            sorted_copy(&keys)
+        );
+        prop_assert_eq!(
+            run(Algorithm::HostVerified, keys.clone(), nodes),
+            sorted_copy(&keys)
+        );
+    }
+
+    #[test]
+    fn all_algorithms_agree(seed in any::<u64>()) {
+        let keys = keys_from_seed(16, seed);
+        let reference = run(Algorithm::NonRedundant, keys.clone(), 16);
+        for algorithm in [
+            Algorithm::FaultTolerant,
+            Algorithm::HostSequential,
+            Algorithm::HostVerified,
+        ] {
+            prop_assert_eq!(run(algorithm, keys.clone(), 16), reference.clone());
+        }
+    }
+}
+
+/// Deterministic pseudorandom keys without dragging an RNG dependency into
+/// the prop body (proptest's own `seed` provides the entropy).
+fn keys_from_seed(len: usize, seed: u64) -> Vec<i32> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as i32
+        })
+        .collect()
+}
+
+#[test]
+fn extreme_values_survive() {
+    let keys = vec![i32::MAX, i32::MIN, 0, -1, 1, i32::MAX, i32::MIN, 0];
+    let expected = sorted_copy(&keys);
+    for algorithm in Algorithm::ALL {
+        assert_eq!(
+            run(algorithm, keys.clone(), keys.len()),
+            expected,
+            "{algorithm}"
+        );
+    }
+}
+
+#[test]
+fn all_equal_keys() {
+    let keys = vec![7i32; 32];
+    for algorithm in Algorithm::ALL {
+        assert_eq!(run(algorithm, keys.clone(), 32), keys, "{algorithm}");
+    }
+}
+
+#[test]
+fn single_node_all_algorithms() {
+    for algorithm in Algorithm::ALL {
+        assert_eq!(run(algorithm, vec![5, 3, 4], 1), vec![3, 4, 5], "{algorithm}");
+    }
+}
+
+#[test]
+fn larger_machine_with_blocks() {
+    let keys: Vec<i32> = (0..512).map(|x| (x * 48_271) % 1_000 - 500).collect();
+    let expected = sorted_copy(&keys);
+    assert_eq!(run(Algorithm::FaultTolerant, keys.clone(), 64), expected);
+    assert_eq!(run(Algorithm::NonRedundant, keys, 64), expected);
+}

@@ -1,0 +1,69 @@
+//! Scale tests: the machines the paper says multicomputers "can grow to"
+//! (1000+ processors), on the simulated substrate.
+//!
+//! The largest run is `#[ignore]`d by default (it spawns 1024 OS threads);
+//! run it explicitly with `cargo test --release -- --ignored`.
+
+use std::time::Duration;
+
+use aoft::sort::{Algorithm, SortBuilder};
+
+fn run(algorithm: Algorithm, nodes: usize, m: usize) -> aoft::sort::SortReport {
+    let keys: Vec<i32> = (0..(nodes * m) as i64)
+        .map(|x| ((x.wrapping_mul(2654435761)) % 65_536 - 32_768) as i32)
+        .collect();
+    let mut expected = keys.clone();
+    expected.sort_unstable();
+    let report = SortBuilder::new(algorithm)
+        .keys(keys)
+        .nodes(nodes)
+        .recv_timeout(Duration::from_secs(30))
+        .run()
+        .expect("honest run at scale");
+    assert_eq!(report.output(), expected);
+    report
+}
+
+#[test]
+fn sft_256_nodes() {
+    let report = run(Algorithm::FaultTolerant, 256, 1);
+    // Schedule identities still hold at scale: 8·9/2 + 8 sends per node.
+    let per_node = 8 * 9 / 2 + 8;
+    assert_eq!(
+        report.metrics().node_total().msgs_sent,
+        256 * per_node as u64
+    );
+}
+
+#[test]
+fn snr_512_nodes() {
+    let report = run(Algorithm::NonRedundant, 512, 1);
+    assert_eq!(
+        report.metrics().node_total().msgs_sent,
+        512 * (9 * 10 / 2) as u64
+    );
+}
+
+#[test]
+fn sft_blocks_at_scale() {
+    // 64 nodes × 128 keys = 8192 keys through the checked algorithm.
+    run(Algorithm::FaultTolerant, 64, 128);
+}
+
+#[test]
+fn host_baseline_at_scale() {
+    run(Algorithm::HostSequential, 128, 16);
+}
+
+#[test]
+#[ignore = "spawns 1024 threads; run with --ignored in release mode"]
+fn sft_1024_nodes() {
+    run(Algorithm::FaultTolerant, 1024, 1);
+}
+
+#[test]
+fn scale_is_deterministic() {
+    let a = run(Algorithm::FaultTolerant, 128, 2).elapsed();
+    let b = run(Algorithm::FaultTolerant, 128, 2).elapsed();
+    assert_eq!(a, b);
+}

@@ -1,0 +1,71 @@
+//! Input-distribution sweep: oblivious sorting networks must behave
+//! identically (same schedule, same message counts, same virtual time up to
+//! data-independent costs) on every distribution.
+
+use aoft::models::workload::Workload;
+use aoft::sort::{Algorithm, SortBuilder};
+
+fn run(algorithm: Algorithm, keys: Vec<i32>) -> aoft::sort::SortReport {
+    SortBuilder::new(algorithm)
+        .keys(keys)
+        .run()
+        .expect("honest run")
+}
+
+#[test]
+fn every_workload_sorts_on_every_algorithm() {
+    for workload in Workload::ALL {
+        let keys = workload.generate(32, 0xABCD);
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        for algorithm in Algorithm::ALL {
+            let report = run(algorithm, keys.clone());
+            assert_eq!(report.output(), expected, "{algorithm} on {workload}");
+        }
+    }
+}
+
+#[test]
+fn schedule_is_oblivious_to_data() {
+    // Same machine size, different distributions: message and word counts
+    // must be identical — the network never branches on key values.
+    let reference = run(
+        Algorithm::FaultTolerant,
+        Workload::UniformRandom.generate(16, 1),
+    );
+    let ref_msgs = reference.metrics().total_msgs();
+    let ref_words = reference.metrics().total_words();
+    for workload in Workload::ALL {
+        let report = run(Algorithm::FaultTolerant, workload.generate(16, 2));
+        assert_eq!(report.metrics().total_msgs(), ref_msgs, "{workload}");
+        assert_eq!(report.metrics().total_words(), ref_words, "{workload}");
+        assert_eq!(report.elapsed(), reference.elapsed(), "{workload}");
+    }
+}
+
+#[test]
+fn block_workloads_sort() {
+    for workload in Workload::ALL {
+        let keys = workload.generate(128, 5);
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        let report = SortBuilder::new(Algorithm::FaultTolerant)
+            .keys(keys)
+            .nodes(8)
+            .run()
+            .expect("honest run");
+        assert_eq!(report.output(), expected, "{workload} with m = 16");
+    }
+}
+
+#[test]
+fn presorted_input_is_not_a_shortcut() {
+    // An oblivious network does the same work on sorted input; elapsed time
+    // must match the random-input run, not beat it.
+    let sorted = run(Algorithm::NonRedundant, Workload::Presorted.generate(32, 0));
+    let random = run(
+        Algorithm::NonRedundant,
+        Workload::UniformRandom.generate(32, 0),
+    );
+    assert_eq!(sorted.elapsed(), random.elapsed());
+}
