@@ -40,19 +40,14 @@ fn ablation(c: &mut Criterion) {
                 });
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("sft_separate", nodes),
-            &nodes,
-            |b, _| {
-                let program =
-                    SftProgram::new(blocks.clone()).with_shipping(Shipping::Separate);
-                b.iter(|| {
-                    let report = engine.run(&program);
-                    assert!(!report.is_fail_stop());
-                    report.metrics().elapsed()
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("sft_separate", nodes), &nodes, |b, _| {
+            let program = SftProgram::new(blocks.clone()).with_shipping(Shipping::Separate);
+            b.iter(|| {
+                let report = engine.run(&program);
+                assert!(!report.is_fail_stop());
+                report.metrics().elapsed()
+            });
+        });
     }
     group.finish();
 }

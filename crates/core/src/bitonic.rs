@@ -225,8 +225,9 @@ mod tests {
         for peak in 0..8usize {
             for valley_depth in 0..4i32 {
                 let mut seq: Vec<Key> = (0..=peak as Key).collect();
-                let mut tail: Vec<Key> =
-                    (0..(8 - seq.len()) as Key).map(|x| peak as Key - x - valley_depth).collect();
+                let mut tail: Vec<Key> = (0..(8 - seq.len()) as Key)
+                    .map(|x| peak as Key - x - valley_depth)
+                    .collect();
                 seq.append(&mut tail);
                 seq.truncate(8);
                 if seq.len() != 8 || !is_bitonic(&seq) {

@@ -161,6 +161,21 @@ impl FromIterator<Key> for Block {
     }
 }
 
+impl aoft_net::Wire for Block {
+    fn encode(&self, out: &mut Vec<u8>) {
+        aoft_net::Wire::encode(&self.keys, out);
+    }
+
+    // Decoding goes through `from_wire`: bytes off a socket may describe an
+    // unsorted block, and judging that is the predicates' job, not the
+    // codec's.
+    fn decode(input: &mut &[u8]) -> Result<Self, aoft_net::CodecError> {
+        Ok(Block::from_wire(<Vec<Key> as aoft_net::Wire>::decode(
+            input,
+        )?))
+    }
+}
+
 /// Splits `keys` into `nodes` equal blocks (node 0 first), sorting each.
 ///
 /// This is the initial data layout: keys are "already in the node
@@ -185,7 +200,10 @@ pub fn distribute(keys: &[Key], nodes: usize) -> Vec<Block> {
 
 /// Concatenates per-node blocks back into one key vector (node 0 first).
 pub fn collect(blocks: &[Block]) -> Vec<Key> {
-    blocks.iter().flat_map(|b| b.keys().iter().copied()).collect()
+    blocks
+        .iter()
+        .flat_map(|b| b.keys().iter().copied())
+        .collect()
 }
 
 #[cfg(test)]

@@ -114,10 +114,7 @@ fn candidate(report: &ErrorReport, nodes: usize, dim: u32) -> NodeSet {
 pub fn diagnose(reports: &[ErrorReport], dim: u32) -> Diagnosis {
     assert!(!reports.is_empty(), "no reports to diagnose");
     let nodes = 1usize << dim;
-    let candidates: Vec<NodeSet> = reports
-        .iter()
-        .map(|r| candidate(r, nodes, dim))
-        .collect();
+    let candidates: Vec<NodeSet> = reports.iter().map(|r| candidate(r, nodes, dim)).collect();
 
     let mut intersection = NodeSet::full(nodes);
     for cand in &candidates {
@@ -172,10 +169,7 @@ mod tests {
     #[test]
     fn corroborating_reports_pinpoint_a_crashed_node() {
         // Two independent neighbors report P5 silent: {5,4} ∩ {5,7} = {5}.
-        let d = diagnose(
-            &[report(4, None, Some(5)), report(7, None, Some(5))],
-            3,
-        );
+        let d = diagnose(&[report(4, None, Some(5)), report(7, None, Some(5))], 3);
         assert!(d.is_pinpointed());
         assert!(d.suspects().contains(NodeId::new(5)));
     }
@@ -195,10 +189,7 @@ mod tests {
     #[test]
     fn intersection_narrows_regions() {
         // P5's stage-1 region {4..7} ∩ accusation {6, 0} = {6}.
-        let d = diagnose(
-            &[report(5, Some(1), None), report(0, None, Some(6))],
-            3,
-        );
+        let d = diagnose(&[report(5, Some(1), None), report(0, None, Some(6))], 3);
         assert!(d.is_pinpointed());
         assert!(d.suspects().contains(NodeId::new(6)));
         assert_eq!(d.candidates().len(), 2);
@@ -206,10 +197,7 @@ mod tests {
 
     #[test]
     fn contradictory_reports_fall_back_to_union() {
-        let d = diagnose(
-            &[report(0, None, Some(1)), report(7, None, Some(6))],
-            3,
-        );
+        let d = diagnose(&[report(0, None, Some(1)), report(7, None, Some(6))], 3);
         assert!(!d.is_consistent());
         assert_eq!(d.suspects().len(), 4, "both link pairs stay suspect");
         for n in [0u32, 1, 6, 7] {

@@ -13,13 +13,15 @@
 //! Both make the host a bottleneck and pay `O(N)` transfer, which is what
 //! the projections of Figures 6–8 show `S_FT` escaping.
 
-use aoft_sim::{AdversarySet, Engine, HostCtx, NodeCtx, Program, RunReport, SimError};
+use aoft_sim::{
+    AdversarySet, Engine, HostCtx, NodeCtx, Packet, Program, RunReport, SimError, Transport,
+};
 
 use crate::snr::take_data;
 use crate::theorem1;
 use crate::{block, Block, Key, Msg, SnrProgram, Violation};
 
-fn check_blocks(blocks: &[Block], engine: &Engine) {
+fn check_blocks<T>(blocks: &[Block], engine: &Engine<T>) {
     assert_eq!(
         blocks.len(),
         engine.cube().len(),
@@ -72,7 +74,10 @@ impl Program<Msg> for UploadDownload {
 /// assert_eq!(block::collect(&outputs), vec![1, 2, 3, 4]);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn sequential(engine: &Engine, blocks: Vec<Block>) -> RunReport<Block> {
+pub fn sequential<T: Transport<Packet<Msg>>>(
+    engine: &Engine<T>,
+    blocks: Vec<Block>,
+) -> RunReport<Block> {
     check_blocks(&blocks, engine);
     let nodes = engine.cube().len();
     let m = blocks[0].len();
@@ -85,11 +90,13 @@ pub fn sequential(engine: &Engine, blocks: Vec<Block>) -> RunReport<Block> {
                 host.signal_error(0, "host gather failed");
                 return;
             };
-            let mut keys: Vec<Key> = uploads.into_iter().flat_map(|msg| match msg {
-                Msg::Data(b) => b.into_keys(),
-                other => panic!("nodes upload bare data, got {other:?}"),
-            })
-            .collect();
+            let mut keys: Vec<Key> = uploads
+                .into_iter()
+                .flat_map(|msg| match msg {
+                    Msg::Data(b) => b.into_keys(),
+                    other => panic!("nodes upload bare data, got {other:?}"),
+                })
+                .collect();
             host.charge_compares(theorem1::verification_compares(keys.len()) - keys.len());
             keys.sort_unstable();
             let sorted: Vec<Msg> = keys
@@ -135,8 +142,8 @@ impl Program<Msg> for SortAndUpload {
 ///
 /// Panics if `blocks` does not supply exactly one equally-sized, non-empty
 /// block per node.
-pub fn verified(
-    engine: &Engine,
+pub fn verified<T: Transport<Packet<Msg>>>(
+    engine: &Engine<T>,
     blocks: Vec<Block>,
     adversaries: AdversarySet<Msg>,
 ) -> RunReport<Block> {
@@ -229,7 +236,10 @@ mod tests {
         let host = report.metrics().host;
         assert_eq!(host.msgs_received, 16);
         assert_eq!(host.msgs_sent, 16);
-        assert!(host.compute_time > aoft_sim::Ticks::ZERO, "host sort charged");
+        assert!(
+            host.compute_time > aoft_sim::Ticks::ZERO,
+            "host sort charged"
+        );
     }
 
     #[test]

@@ -62,8 +62,8 @@ mod lbs;
 mod msg;
 pub mod predicates;
 mod runner;
-mod snr;
 mod sft;
+mod snr;
 pub mod theorem1;
 mod violation;
 
@@ -72,8 +72,8 @@ pub use block::Block;
 pub use lbs::LbsBuffer;
 pub use msg::{LbsWire, Msg};
 pub use runner::{Algorithm, RetryReport, SortBuilder, SortDirection, SortError, SortReport};
-pub use snr::SnrProgram;
 pub use sft::{SftProgram, Shipping};
+pub use snr::SnrProgram;
 pub use violation::Violation;
 
 /// The key type being sorted: 32-bit integers, as in the paper's Section 5

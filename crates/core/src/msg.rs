@@ -9,6 +9,7 @@
 
 use aoft_faults::Corruptible;
 use aoft_hypercube::NodeId;
+use aoft_net::{CodecError, Wire};
 use aoft_sim::Payload;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -75,6 +76,54 @@ impl Payload for Msg {
             Msg::Data(block) => 1 + block.len(),
             Msg::Tagged { data, lbs } => 1 + data.len() + lbs.wire_words(),
             Msg::Lbs(lbs) => 1 + lbs.wire_words(),
+        }
+    }
+}
+
+impl Wire for LbsWire {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.span_start.encode(out);
+        self.block_len.encode(out);
+        self.slots.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(LbsWire {
+            span_start: u32::decode(input)?,
+            block_len: u32::decode(input)?,
+            slots: Vec::decode(input)?,
+        })
+    }
+}
+
+impl Wire for Msg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Msg::Data(block) => {
+                out.push(0);
+                block.encode(out);
+            }
+            Msg::Tagged { data, lbs } => {
+                out.push(1);
+                data.encode(out);
+                lbs.encode(out);
+            }
+            Msg::Lbs(lbs) => {
+                out.push(2);
+                lbs.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        match u8::decode(input)? {
+            0 => Ok(Msg::Data(Block::decode(input)?)),
+            1 => Ok(Msg::Tagged {
+                data: Block::decode(input)?,
+                lbs: LbsWire::decode(input)?,
+            }),
+            2 => Ok(Msg::Lbs(LbsWire::decode(input)?)),
+            other => Err(CodecError::msg(format!("bad Msg tag {other:#04x}"))),
         }
     }
 }
@@ -186,7 +235,15 @@ mod tests {
 
     #[test]
     fn wire_get_by_node() {
-        let w = wire(4, vec![Some(Block::new(vec![7])), None, Some(Block::new(vec![9])), None]);
+        let w = wire(
+            4,
+            vec![
+                Some(Block::new(vec![7])),
+                None,
+                Some(Block::new(vec![9])),
+                None,
+            ],
+        );
         assert_eq!(w.get(NodeId::new(4)).unwrap().keys(), &[7]);
         assert!(w.get(NodeId::new(5)).is_none());
         assert_eq!(w.get(NodeId::new(6)).unwrap().keys(), &[9]);
@@ -215,14 +272,7 @@ mod tests {
             slots: vec![Some(block.clone()), None],
         };
         assert_eq!(Msg::Lbs(lbs.clone()).wire_size(), 1 + 2 + 6);
-        assert_eq!(
-            Msg::Tagged {
-                data: block,
-                lbs
-            }
-            .wire_size(),
-            1 + 3 + 2 + 6
-        );
+        assert_eq!(Msg::Tagged { data: block, lbs }.wire_size(), 1 + 3 + 2 + 6);
     }
 
     #[test]
@@ -230,7 +280,10 @@ mod tests {
         let mut r = rng();
         let msg = Msg::Tagged {
             data: Block::new(vec![10, 20]),
-            lbs: wire(0, vec![Some(Block::new(vec![5])), Some(Block::new(vec![6]))]),
+            lbs: wire(
+                0,
+                vec![Some(Block::new(vec![5])), Some(Block::new(vec![6]))],
+            ),
         };
         let mut changed = false;
         for _ in 0..16 {

@@ -187,7 +187,10 @@ mod tests {
         let mut sparse = LbsBuffer::new(4, 1);
         sparse.set(NodeId::new(0), lbs.get(NodeId::new(0)).unwrap().clone());
         let err = bit_compare_stage(&sparse, &llbs, NodeId::new(0), 1).unwrap_err();
-        assert!(matches!(err, Violation::IncompleteSequence { stage: 1, .. }));
+        assert!(matches!(
+            err,
+            Violation::IncompleteSequence { stage: 1, .. }
+        ));
     }
 
     #[test]

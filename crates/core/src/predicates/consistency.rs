@@ -55,9 +55,11 @@ pub fn phi_c(
 ) -> Result<PhiCOutcome, Violation> {
     let mut outcome = PhiCOutcome::default();
     for node in expected.iter() {
-        let block = incoming
-            .get(node)
-            .ok_or(Violation::MissingEntry { stage, step, entry: node })?;
+        let block = incoming.get(node).ok_or(Violation::MissingEntry {
+            stage,
+            step,
+            entry: node,
+        })?;
         if block.len() != lbs.block_len() as usize {
             return Err(Violation::MalformedBlock {
                 stage,
@@ -69,7 +71,11 @@ pub fn phi_c(
             Some(held) => {
                 outcome.compared += 1;
                 if held != block {
-                    return Err(Violation::Inconsistent { stage, step, entry: node });
+                    return Err(Violation::Inconsistent {
+                        stage,
+                        step,
+                        entry: node,
+                    });
                 }
             }
             None => {
@@ -109,7 +115,13 @@ mod tests {
         lbs.set(NodeId::new(0), Block::new(vec![5]));
         let incoming = wire(0, vec![None, Some(Block::new(vec![7])), None, None]);
         let outcome = phi_c(&mut lbs, &incoming, &expect(&[1]), 1, 1).unwrap();
-        assert_eq!(outcome, PhiCOutcome { adopted: 1, compared: 0 });
+        assert_eq!(
+            outcome,
+            PhiCOutcome {
+                adopted: 1,
+                compared: 0
+            }
+        );
         assert_eq!(lbs.get(NodeId::new(1)).unwrap().keys(), &[7]);
         assert_eq!(lbs.held().len(), 2);
     }
@@ -120,7 +132,13 @@ mod tests {
         lbs.set(NodeId::new(2), Block::new(vec![9]));
         let incoming = wire(0, vec![None, None, Some(Block::new(vec![9])), None]);
         let outcome = phi_c(&mut lbs, &incoming, &expect(&[2]), 2, 0).unwrap();
-        assert_eq!(outcome, PhiCOutcome { adopted: 0, compared: 1 });
+        assert_eq!(
+            outcome,
+            PhiCOutcome {
+                adopted: 0,
+                compared: 1
+            }
+        );
     }
 
     #[test]
@@ -159,7 +177,12 @@ mod tests {
         let mut lbs = LbsBuffer::new(8, 1);
         let incoming = wire(
             0,
-            vec![Some(Block::new(vec![1])), None, None, Some(Block::new(vec![66]))],
+            vec![
+                Some(Block::new(vec![1])),
+                None,
+                None,
+                Some(Block::new(vec![66])),
+            ],
         );
         phi_c(&mut lbs, &incoming, &expect(&[0]), 1, 1).unwrap();
         assert!(lbs.get(NodeId::new(3)).is_none());
@@ -209,7 +232,12 @@ mod tests {
         lbs.set(NodeId::new(0), Block::new(vec![1]));
         let incoming = wire(
             0,
-            vec![Some(Block::new(vec![1])), Some(Block::new(vec![2])), None, None],
+            vec![
+                Some(Block::new(vec![1])),
+                Some(Block::new(vec![2])),
+                None,
+                None,
+            ],
         );
         phi_c(&mut lbs, &incoming, &expect(&[0, 1]), 1, 0).unwrap();
         assert!(lbs.holds(NodeId::new(0)));

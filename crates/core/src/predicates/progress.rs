@@ -57,9 +57,7 @@ pub fn phi_p_stage(buf: &LbsBuffer, span: Subcube, stage: u32) -> Result<(), Vio
     check_blocks(buf, span, stage)?;
     let (low, high) = span.halves();
     for half in [low, high] {
-        let flat = buf
-            .flatten_ascending(half)
-            .expect("coverage checked above");
+        let flat = buf.flatten_ascending(half).expect("coverage checked above");
         if !crate::bitonic::is_monotone(&flat, true) {
             return Err(Violation::NonBitonic { stage });
         }
@@ -79,9 +77,7 @@ pub fn phi_p_stage(buf: &LbsBuffer, span: Subcube, stage: u32) -> Result<(), Vio
 /// output is not fully sorted.
 pub fn phi_p_final(buf: &LbsBuffer, span: Subcube, stage: u32) -> Result<(), Violation> {
     check_blocks(buf, span, stage)?;
-    let flat = buf
-        .flatten_ascending(span)
-        .expect("coverage checked above");
+    let flat = buf.flatten_ascending(span).expect("coverage checked above");
     if !crate::bitonic::is_monotone(&flat, true) {
         return Err(Violation::NonBitonic { stage });
     }

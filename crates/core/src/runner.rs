@@ -6,9 +6,12 @@ use std::time::Duration;
 
 use aoft_faults::FaultPlan;
 use aoft_hypercube::Hypercube;
-use aoft_sim::{CostModel, Engine, ErrorReport, RunMetrics, RunReport, SimConfig, Ticks, Trace};
+use aoft_sim::{
+    CostModel, Engine, ErrorReport, InProc, Packet, RunMetrics, RunReport, SimConfig, Ticks, Trace,
+    Transport,
+};
 
-use crate::{block, host, Block, Key, SftProgram, SnrProgram};
+use crate::{block, host, Block, Key, Msg, SftProgram, SnrProgram};
 
 /// Which sorting strategy to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -300,15 +303,36 @@ impl SortBuilder {
     ///   faults; for `S_NR` it only occurs on omission faults that starve a
     ///   receive).
     pub fn run(self) -> Result<SortReport, SortError> {
+        self.run_on(InProc::new())
+    }
+
+    /// Runs the configured sort over an explicit transport medium.
+    ///
+    /// [`run`](SortBuilder::run) is this with [`InProc`] — the node
+    /// programs are identical either way; only the medium carrying their
+    /// compare-exchange traffic changes. Hand a
+    /// [`TcpTransport`](aoft_sim::TcpTransport) here and the same `S_FT`
+    /// schedule runs over real sockets, with the transport's failure
+    /// detector feeding the very same fail-stop path as a simulated
+    /// omission fault. Host links stay in-process regardless (environmental
+    /// assumption 2: host links are reliable).
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](SortBuilder::run); transport-level failures (dead peer,
+    /// corrupt stream) surface as [`SortError::Detected`].
+    pub fn run_on<T>(self, transport: T) -> Result<SortReport, SortError>
+    where
+        T: Transport<Packet<Msg>>,
+    {
         let (nodes, _m) = self.resolve_shape()?;
         let dim = nodes.trailing_zeros();
-        let cube = Hypercube::new(dim)
-            .map_err(|e| SortError::InvalidInput(e.to_string()))?;
+        let cube = Hypercube::new(dim).map_err(|e| SortError::InvalidInput(e.to_string()))?;
         let config = SimConfig::new()
             .cost_model(self.cost)
             .recv_timeout(self.timeout)
             .trace(self.trace);
-        let engine = Engine::new(cube, config);
+        let engine = Engine::with_transport(cube, config, transport);
         let keys: Vec<Key> = match self.direction {
             SortDirection::Ascending => self.keys,
             // Order reflection: !k = -k-1 is a strictly order-reversing
@@ -392,10 +416,7 @@ impl SortBuilder {
         assert!(attempts > 0, "at least one attempt");
         let mut detections = Vec::new();
         for attempt in 0..attempts {
-            let run = self
-                .clone()
-                .fault_plan(plan_for_attempt(attempt))
-                .run();
+            let run = self.clone().fault_plan(plan_for_attempt(attempt)).run();
             match run {
                 Ok(report) => {
                     return Ok(RetryReport {
@@ -462,15 +483,20 @@ mod tests {
             other => panic!("expected InvalidInput, got {other:?}"),
         };
         assert!(err(SortBuilder::new(Algorithm::NonRedundant)).contains("no keys"));
-        assert!(err(SortBuilder::new(Algorithm::NonRedundant).keys(vec![1, 2, 3]))
-            .contains("power of two"));
-        assert!(err(SortBuilder::new(Algorithm::NonRedundant)
-            .keys(vec![1, 2, 3, 4])
-            .nodes(3))
-        .contains("not a power of two") || err(SortBuilder::new(Algorithm::NonRedundant)
-            .keys(vec![1, 2, 3, 4])
-            .nodes(3))
-        .contains("divide"));
+        assert!(
+            err(SortBuilder::new(Algorithm::NonRedundant).keys(vec![1, 2, 3]))
+                .contains("power of two")
+        );
+        assert!(
+            err(SortBuilder::new(Algorithm::NonRedundant)
+                .keys(vec![1, 2, 3, 4])
+                .nodes(3))
+            .contains("not a power of two")
+                || err(SortBuilder::new(Algorithm::NonRedundant)
+                    .keys(vec![1, 2, 3, 4])
+                    .nodes(3))
+                .contains("divide")
+        );
         assert!(err(SortBuilder::new(Algorithm::NonRedundant)
             .keys(vec![1, 2, 3, 4])
             .nodes(2)
@@ -631,12 +657,11 @@ mod tests {
                 Trigger::from_seq(1),
                 faulty as u64 + 40,
             );
-            let Err(SortError::Detected { reports }) =
-                SortBuilder::new(Algorithm::FaultTolerant)
-                    .keys((0..8).rev().collect())
-                    .fault_plan(plan)
-                    .recv_timeout(Duration::from_millis(300))
-                    .run()
+            let Err(SortError::Detected { reports }) = SortBuilder::new(Algorithm::FaultTolerant)
+                .keys((0..8).rev().collect())
+                .fault_plan(plan)
+                .recv_timeout(Duration::from_millis(300))
+                .run()
             else {
                 continue; // fault absorbed: nothing to diagnose
             };

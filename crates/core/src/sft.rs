@@ -379,9 +379,7 @@ impl Program<Msg> for SftProgram {
             // fully distributed — skipped at stage 0 per assumption 5.
             if stage > 0 {
                 ctx.charge_compares(bit_compare_cost(stage, state.m));
-                if let Err(violation) =
-                    bit_compare_stage(&state.lbs, &state.llbs, me, stage)
-                {
+                if let Err(violation) = bit_compare_stage(&state.lbs, &state.llbs, me, stage) {
                     return Err(fail(ctx, violation));
                 }
             }
@@ -463,7 +461,10 @@ mod tests {
 
     #[test]
     fn sorts_duplicates() {
-        assert_eq!(run_sort(&[5, 5, 5, 5, 1, 1, 1, 1], 3), vec![1, 1, 1, 1, 5, 5, 5, 5]);
+        assert_eq!(
+            run_sort(&[5, 5, 5, 5, 1, 1, 1, 1], 3),
+            vec![1, 1, 1, 1, 5, 5, 5, 5]
+        );
     }
 
     #[test]
@@ -509,8 +510,8 @@ mod tests {
     fn separate_shipping_sorts_but_doubles_messages() {
         let keys: Vec<i32> = (0..8).rev().collect();
         let piggy = SftProgram::new(block::distribute(&keys, 8));
-        let separate = SftProgram::new(block::distribute(&keys, 8))
-            .with_shipping(Shipping::Separate);
+        let separate =
+            SftProgram::new(block::distribute(&keys, 8)).with_shipping(Shipping::Separate);
         assert_eq!(separate.shipping(), Shipping::Separate);
 
         let piggy_report = engine(3).run(&piggy);
@@ -530,8 +531,8 @@ mod tests {
     fn separate_shipping_still_detects_faults() {
         use aoft_faults::{FaultKind, FaultPlan, Trigger};
         let keys: Vec<i32> = (0..8).rev().collect();
-        let program = SftProgram::new(block::distribute(&keys, 8))
-            .with_shipping(Shipping::Separate);
+        let program =
+            SftProgram::new(block::distribute(&keys, 8)).with_shipping(Shipping::Separate);
         let plan = FaultPlan::new().with_fault(
             aoft_hypercube::NodeId::new(2),
             FaultKind::CorruptValue,

@@ -142,7 +142,11 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(Theorem1Failure::NotSorted { at: 3 }.to_string().contains('3'));
-        assert!(Theorem1Failure::NotPermutation.to_string().contains("permutation"));
+        assert!(Theorem1Failure::NotSorted { at: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(Theorem1Failure::NotPermutation
+            .to_string()
+            .contains("permutation"));
     }
 }

@@ -151,14 +151,17 @@ impl fmt::Display for Violation {
                 f,
                 "Φ_C: entry {entry} missing from message at stage {stage} step {step}"
             ),
-            Violation::MalformedBlock { stage, expected, got } => write!(
+            Violation::MalformedBlock {
+                stage,
+                expected,
+                got,
+            } => write!(
                 f,
                 "malformed block at stage {stage}: expected {expected} keys, got {got}"
             ),
-            Violation::UnexpectedMessage { stage, step } => write!(
-                f,
-                "unexpected message variant at stage {stage} step {step}"
-            ),
+            Violation::UnexpectedMessage { stage, step } => {
+                write!(f, "unexpected message variant at stage {stage} step {step}")
+            }
             Violation::IncompleteSequence { stage, entry } => write!(
                 f,
                 "bit_compare: entry {entry} never collected during stage {stage}"
@@ -194,7 +197,9 @@ mod tests {
                 expected: 4,
                 got: 3,
             },
-            Violation::MessageLost { from: NodeId::new(7) },
+            Violation::MessageLost {
+                from: NodeId::new(7),
+            },
             Violation::OutputRejected,
             Violation::IncompleteSequence {
                 stage: 3,
@@ -220,9 +225,14 @@ mod tests {
             assert!(!v.to_string().is_empty());
             assert!(!v.predicate().is_empty());
         }
-        assert_eq!(Violation::NonBitonic { stage: 1 }.predicate(), "progress (Φ_P)");
-        assert!(Violation::MessageLost { from: NodeId::new(7) }
-            .to_string()
-            .contains("P7"));
+        assert_eq!(
+            Violation::NonBitonic { stage: 1 }.predicate(),
+            "progress (Φ_P)"
+        );
+        assert!(Violation::MessageLost {
+            from: NodeId::new(7)
+        }
+        .to_string()
+        .contains("P7"));
     }
 }

@@ -151,7 +151,7 @@ fn pipeline_catches_a_planted_corruption() {
     };
     let lbs = to_buffer(&snapshots[2]);
     let llbs = to_buffer(&snapshots[1]);
-    let tripped = (0..nodes as u32)
-        .any(|node| bit_compare_stage(&lbs, &llbs, NodeId::new(node), 2).is_err());
+    let tripped =
+        (0..nodes as u32).any(|node| bit_compare_stage(&lbs, &llbs, NodeId::new(node), 2).is_err());
     assert!(tripped, "somebody must notice the planted 999");
 }

@@ -1,0 +1,59 @@
+//! Property tests of the `Msg` binary encoding: the payloads that actually
+//! cross a socket in a TCP cluster round-trip exactly, and damaged
+//! encodings are rejected rather than mis-decoded.
+
+use aoft_net::wire::{from_bytes, to_bytes};
+use aoft_sort::{Block, LbsWire, Msg};
+use proptest::prelude::*;
+
+fn block_strategy() -> impl Strategy<Value = Block> {
+    prop::collection::vec(-10_000i32..10_000, 0..16).prop_map(Block::from_wire)
+}
+
+fn lbs_strategy() -> impl Strategy<Value = LbsWire> {
+    let slot = (any::<bool>(), block_strategy()).prop_map(|(filled, b)| filled.then_some(b));
+    (0u32..64, 0u32..16, prop::collection::vec(slot, 0..8)).prop_map(
+        |(span_start, block_len, slots)| LbsWire {
+            span_start,
+            block_len,
+            slots,
+        },
+    )
+}
+
+fn msg_strategy() -> impl Strategy<Value = Msg> {
+    (0u8..3, block_strategy(), lbs_strategy()).prop_map(|(tag, data, lbs)| match tag {
+        0 => Msg::Data(data),
+        1 => Msg::Tagged { data, lbs },
+        _ => Msg::Lbs(lbs),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every `Msg` variant survives the byte round trip exactly.
+    #[test]
+    fn msg_round_trips(msg in msg_strategy()) {
+        let bytes = to_bytes(&msg);
+        prop_assert_eq!(from_bytes::<Msg>(&bytes).unwrap(), msg);
+    }
+
+    /// No strict prefix of an encoding decodes: a truncated `Msg` is a
+    /// detectable fault, not a shorter message.
+    #[test]
+    fn msg_truncation_rejected(msg in msg_strategy()) {
+        let bytes = to_bytes(&msg);
+        for cut in 0..bytes.len() {
+            prop_assert!(from_bytes::<Msg>(&bytes[..cut]).is_err());
+        }
+    }
+
+    /// Trailing garbage after a valid encoding is rejected.
+    #[test]
+    fn msg_trailing_bytes_rejected(msg in msg_strategy(), extra in 0u8..255) {
+        let mut bytes = to_bytes(&msg);
+        bytes.push(extra);
+        prop_assert!(from_bytes::<Msg>(&bytes).is_err());
+    }
+}

@@ -302,7 +302,10 @@ mod tests {
     #[test]
     fn corruptor_outside_window_is_honest() {
         let mut adv = ValueCorruptor::new(Trigger::at_seq(5), 1);
-        assert_eq!(delivered(adv.intercept(&ctx(0, 1, 0), Word(9))), Some(Word(9)));
+        assert_eq!(
+            delivered(adv.intercept(&ctx(0, 1, 0), Word(9))),
+            Some(Word(9))
+        );
         let hit = delivered(adv.intercept(&ctx(0, 1, 5), Word(9))).unwrap();
         assert_ne!(hit, Word(9));
     }
@@ -336,7 +339,10 @@ mod tests {
     #[test]
     fn stuck_stale_replays_previous() {
         let mut adv: StuckStale<Word> = StuckStale::new(Trigger::from_seq(1), 4);
-        assert_eq!(delivered(adv.intercept(&ctx(0, 1, 0), Word(10))), Some(Word(10)));
+        assert_eq!(
+            delivered(adv.intercept(&ctx(0, 1, 0), Word(10))),
+            Some(Word(10))
+        );
         assert_eq!(
             delivered(adv.intercept(&ctx(0, 1, 1), Word(20))),
             Some(Word(10)),
@@ -352,14 +358,20 @@ mod tests {
     #[test]
     fn stuck_stale_first_send_is_clean() {
         let mut adv: StuckStale<Word> = StuckStale::new(Trigger::always(), 4);
-        assert_eq!(delivered(adv.intercept(&ctx(0, 1, 0), Word(10))), Some(Word(10)));
+        assert_eq!(
+            delivered(adv.intercept(&ctx(0, 1, 0), Word(10))),
+            Some(Word(10))
+        );
     }
 
     #[test]
     fn delayer_holds_and_releases_in_order() {
         let mut adv: Delayer<Word> = Delayer::new(Trigger::at_seq(1), 8);
         // seq 0: passes through.
-        assert_eq!(delivered(adv.intercept(&ctx(0, 1, 0), Word(10))), Some(Word(10)));
+        assert_eq!(
+            delivered(adv.intercept(&ctx(0, 1, 0), Word(10))),
+            Some(Word(10))
+        );
         // seq 1: held.
         assert!(delivered(adv.intercept(&ctx(0, 2, 1), Word(20))).is_none());
         // seq 2: releases the held message plus the current one, in order.
@@ -372,7 +384,10 @@ mod tests {
             other => panic!("expected fan, got {other:?}"),
         }
         // seq 3: buffer empty again.
-        assert_eq!(delivered(adv.intercept(&ctx(0, 1, 3), Word(40))), Some(Word(40)));
+        assert_eq!(
+            delivered(adv.intercept(&ctx(0, 1, 3), Word(40))),
+            Some(Word(40))
+        );
     }
 
     #[test]

@@ -163,11 +163,7 @@ where
     let mut result = CampaignResult::default();
     for (label, plan) in plans {
         let outcome = runner(&plan);
-        result
-            .per_label
-            .entry(label)
-            .or_default()
-            .record(&outcome);
+        result.per_label.entry(label).or_default().record(&outcome);
         result.trials.push(TrialRecord { plan, outcome });
     }
     result
@@ -246,10 +242,9 @@ mod tests {
 
     #[test]
     fn inconclusive_is_tracked() {
-        let result = run_campaign(
-            vec![("x".to_string(), FaultPlan::new())],
-            |_| TrialOutcome::Inconclusive("infra".to_string()),
-        );
+        let result = run_campaign(vec![("x".to_string(), FaultPlan::new())], |_| {
+            TrialOutcome::Inconclusive("infra".to_string())
+        });
         assert_eq!(result.total().inconclusive, 1);
         assert_eq!(result.total().trials, 1);
     }

@@ -29,13 +29,13 @@ pub trait Corruptible: Payload {
 impl Corruptible for Word {
     /// Flips a random bit.
     fn corrupt<R: Rng + ?Sized>(&self, rng: &mut R) -> Self {
-        Word(self.0 ^ (1 << rng.gen_range(0..32)))
+        Word(self.0 ^ (1u32 << rng.gen_range(0..32u32)))
     }
 }
 
 impl Corruptible for u32 {
     fn corrupt<R: Rng + ?Sized>(&self, rng: &mut R) -> Self {
-        self ^ (1 << rng.gen_range(0..32))
+        self ^ (1u32 << rng.gen_range(0..32u32))
     }
 }
 

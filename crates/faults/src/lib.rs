@@ -47,6 +47,7 @@ mod adversaries;
 pub mod campaign;
 mod corrupt;
 mod plan;
+mod transport;
 mod trigger;
 
 pub use adversaries::{
@@ -55,4 +56,5 @@ pub use adversaries::{
 pub use campaign::{run_campaign, CampaignResult, KindStats, TrialOutcome, TrialRecord};
 pub use corrupt::Corruptible;
 pub use plan::{FaultKind, FaultPlan, FaultSpec};
+pub use transport::{FaultyTransport, LinkFault};
 pub use trigger::Trigger;

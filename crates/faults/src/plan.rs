@@ -107,7 +107,13 @@ impl FaultPlan {
     ///
     /// Panics if `node` already has a fault in this plan — one adversary per
     /// node, matching Definition 3's per-node fault attribution.
-    pub fn with_fault(mut self, node: NodeId, kind: FaultKind, trigger: Trigger, seed: u64) -> Self {
+    pub fn with_fault(
+        mut self,
+        node: NodeId,
+        kind: FaultKind,
+        trigger: Trigger,
+        seed: u64,
+    ) -> Self {
         self.push(FaultSpec {
             node,
             kind,
@@ -166,20 +172,12 @@ impl FaultPlan {
                 spec.node
             );
             let adversary: Box<dyn aoft_sim::Adversary<M>> = match spec.kind {
-                FaultKind::CorruptValue => {
-                    Box::new(ValueCorruptor::new(spec.trigger, spec.seed))
-                }
+                FaultKind::CorruptValue => Box::new(ValueCorruptor::new(spec.trigger, spec.seed)),
                 FaultKind::TwoFaced => Box::new(TwoFaced::new(spec.trigger, spec.seed)),
-                FaultKind::DropMessages => {
-                    Box::new(MessageDropper::new(spec.trigger, spec.seed))
-                }
+                FaultKind::DropMessages => Box::new(MessageDropper::new(spec.trigger, spec.seed)),
                 FaultKind::Crash => Box::new(Crash::new(spec.trigger.from)),
-                FaultKind::StuckStale => {
-                    Box::new(StuckStale::<M>::new(spec.trigger, spec.seed))
-                }
-                FaultKind::DelayMessages => {
-                    Box::new(Delayer::<M>::new(spec.trigger, spec.seed))
-                }
+                FaultKind::StuckStale => Box::new(StuckStale::<M>::new(spec.trigger, spec.seed)),
+                FaultKind::DelayMessages => Box::new(Delayer::<M>::new(spec.trigger, spec.seed)),
                 FaultKind::RandomByzantine => {
                     Box::new(RandomByzantine::<M>::new(spec.trigger, spec.seed))
                 }

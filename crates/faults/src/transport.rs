@@ -1,0 +1,280 @@
+//! A transport-level adversary: faults injected *below* the message layer.
+//!
+//! The adversaries of [`crate::adversaries`] intercept sends inside the
+//! simulator, where they can read and rewrite typed payloads. This module
+//! attacks one level down, at the [`Transport`] seam: [`FaultyTransport`]
+//! wraps any backend and degrades individual links — dropping frames,
+//! delaying them, or killing the link outright after a quota of sends.
+//!
+//! Faults here are *fail-silent by construction*: a dropped or killed send
+//! still returns `Ok` to the sender, exactly like a send port whose wire
+//! was cut. Detection must therefore happen on the receiving side — by
+//! receive deadline (assumption 4: a missing message is detectable) or by
+//! the backend's failure detector — which is precisely the paper's
+//! receiver-side detection model. A program that survives `FaultyTransport`
+//! over `InProc` demonstrates that the *algorithm* detects the loss, not
+//! that the medium reported it.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use aoft_net::{LinkId, LinkRx, LinkTx, NetError, Transport};
+use parking_lot::Mutex;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Degradation applied to one link's sends.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LinkFault {
+    /// Probability in `[0, 1]` that any given send is silently discarded.
+    pub drop_probability: f64,
+    /// Added latency before each surviving send is forwarded.
+    pub delay: Option<Duration>,
+    /// After this many accepted sends, the link goes permanently silent
+    /// (the sender keeps getting `Ok`; the receiver hears nothing more).
+    pub kill_after: Option<u64>,
+}
+
+impl LinkFault {
+    /// `true` if this fault never alters anything.
+    pub fn is_benign(&self) -> bool {
+        self.drop_probability <= 0.0 && self.delay.is_none() && self.kill_after.is_none()
+    }
+}
+
+/// Wraps a [`Transport`] and injects [`LinkFault`]s on selected links.
+///
+/// Receiving endpoints pass through untouched: all injection happens on the
+/// sending side, before the inner transport sees the message, so the same
+/// adversary drives any backend. Randomness is deterministic — each faulty
+/// link draws from a `ChaCha8` stream seeded from the transport seed and
+/// the link identity, so a run is reproducible given (seed, rules).
+#[derive(Debug)]
+pub struct FaultyTransport<T> {
+    inner: T,
+    seed: u64,
+    by_link: HashMap<LinkId, LinkFault>,
+    by_sender: HashMap<u32, LinkFault>,
+}
+
+impl<T> FaultyTransport<T> {
+    /// Wraps `inner`; until rules are added every link is clean.
+    pub fn new(inner: T, seed: u64) -> Self {
+        Self {
+            inner,
+            seed,
+            by_link: HashMap::new(),
+            by_sender: HashMap::new(),
+        }
+    }
+
+    /// Applies `fault` to one specific link.
+    pub fn fault_link(mut self, link: LinkId, fault: LinkFault) -> Self {
+        self.by_link.insert(link, fault);
+        self
+    }
+
+    /// Applies `fault` to every link whose sending endpoint is `from` —
+    /// the transport-level picture of a faulty *node* (Definition 3
+    /// attributes link faults to the sending node).
+    pub fn fault_sender(mut self, from: u32, fault: LinkFault) -> Self {
+        self.by_sender.insert(from, fault);
+        self
+    }
+
+    /// The inner transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    fn fault_for(&self, link: LinkId) -> LinkFault {
+        self.by_link
+            .get(&link)
+            .or_else(|| self.by_sender.get(&link.from))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    fn rng_for(&self, link: LinkId) -> ChaCha8Rng {
+        // Mix the link identity into the seed so each link gets an
+        // independent, reproducible stream.
+        let mix = (u64::from(link.from) << 40) ^ (u64::from(link.to) << 8) ^ u64::from(link.tag);
+        ChaCha8Rng::seed_from_u64(self.seed ^ mix)
+    }
+}
+
+impl<M: Send + 'static, T: Transport<M>> Transport<M> for FaultyTransport<T> {
+    fn connect_tx(&self, link: LinkId, deadline: Duration) -> Result<Box<dyn LinkTx<M>>, NetError> {
+        let inner = self.inner.connect_tx(link, deadline)?;
+        let fault = self.fault_for(link);
+        if fault.is_benign() {
+            return Ok(inner);
+        }
+        Ok(Box::new(FaultyTx {
+            inner,
+            fault,
+            rng: Mutex::new(self.rng_for(link)),
+            sent: AtomicU64::new(0),
+        }))
+    }
+
+    fn connect_rx(&self, link: LinkId, deadline: Duration) -> Result<Box<dyn LinkRx<M>>, NetError> {
+        self.inner.connect_rx(link, deadline)
+    }
+}
+
+struct FaultyTx<M> {
+    inner: Box<dyn LinkTx<M>>,
+    fault: LinkFault,
+    rng: Mutex<ChaCha8Rng>,
+    sent: AtomicU64,
+}
+
+impl<M: Send> LinkTx<M> for FaultyTx<M> {
+    fn send(&self, msg: M) -> Result<(), NetError> {
+        let seq = self.sent.fetch_add(1, Ordering::Relaxed);
+        if self.fault.kill_after.is_some_and(|quota| seq >= quota) {
+            // Dead link: swallow the message, report success. The peer's
+            // receive deadline is the only witness.
+            return Ok(());
+        }
+        if self.fault.drop_probability > 0.0
+            && self
+                .rng
+                .lock()
+                .gen_bool(self.fault.drop_probability.min(1.0))
+        {
+            return Ok(());
+        }
+        if let Some(delay) = self.fault.delay {
+            std::thread::sleep(delay);
+        }
+        self.inner.send(msg)
+    }
+
+    fn close(&self) {
+        self.inner.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use aoft_net::{CancelToken, InProc};
+
+    use super::*;
+
+    const DEADLINE: Duration = Duration::from_secs(1);
+
+    fn link() -> LinkId {
+        LinkId {
+            from: 0,
+            to: 1,
+            tag: 0,
+        }
+    }
+
+    fn recv(rx: &dyn LinkRx<u32>, timeout: Duration) -> Result<u32, NetError> {
+        rx.recv_deadline(timeout, &CancelToken::new())
+    }
+
+    #[test]
+    fn clean_link_passes_through() {
+        let transport = FaultyTransport::new(InProc::new(), 7);
+        let tx: Box<dyn LinkTx<u32>> = transport.connect_tx(link(), DEADLINE).unwrap();
+        let rx = transport.connect_rx(link(), DEADLINE).unwrap();
+        tx.send(42).unwrap();
+        assert_eq!(recv(rx.as_ref(), DEADLINE).unwrap(), 42);
+    }
+
+    #[test]
+    fn killed_link_goes_silent_after_quota() {
+        let fault = LinkFault {
+            kill_after: Some(2),
+            ..LinkFault::default()
+        };
+        let transport = FaultyTransport::new(InProc::new(), 7).fault_link(link(), fault);
+        let tx: Box<dyn LinkTx<u32>> = transport.connect_tx(link(), DEADLINE).unwrap();
+        let rx = transport.connect_rx(link(), DEADLINE).unwrap();
+        for i in 0..5 {
+            // Every send reports success, even past the quota: fail-silent.
+            tx.send(i).unwrap();
+        }
+        assert_eq!(recv(rx.as_ref(), DEADLINE).unwrap(), 0);
+        assert_eq!(recv(rx.as_ref(), DEADLINE).unwrap(), 1);
+        let err = recv(rx.as_ref(), Duration::from_millis(30)).unwrap_err();
+        assert!(matches!(err, NetError::Timeout { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn certain_drop_starves_the_receiver() {
+        let fault = LinkFault {
+            drop_probability: 1.0,
+            ..LinkFault::default()
+        };
+        let transport = FaultyTransport::new(InProc::new(), 7).fault_sender(0, fault);
+        let tx: Box<dyn LinkTx<u32>> = transport.connect_tx(link(), DEADLINE).unwrap();
+        let rx = transport.connect_rx(link(), DEADLINE).unwrap();
+        tx.send(1).unwrap();
+        let err = recv(rx.as_ref(), Duration::from_millis(30)).unwrap_err();
+        assert!(matches!(err, NetError::Timeout { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn delay_defers_but_delivers() {
+        let fault = LinkFault {
+            delay: Some(Duration::from_millis(40)),
+            ..LinkFault::default()
+        };
+        let transport = FaultyTransport::new(InProc::new(), 7).fault_link(link(), fault);
+        let tx: Box<dyn LinkTx<u32>> = transport.connect_tx(link(), DEADLINE).unwrap();
+        let rx = transport.connect_rx(link(), DEADLINE).unwrap();
+        let start = std::time::Instant::now();
+        tx.send(9).unwrap();
+        assert_eq!(recv(rx.as_ref(), DEADLINE).unwrap(), 9);
+        assert!(start.elapsed() >= Duration::from_millis(40));
+    }
+
+    #[test]
+    fn drops_are_deterministic_per_seed() {
+        let survivors = |seed: u64| -> Vec<u32> {
+            let fault = LinkFault {
+                drop_probability: 0.5,
+                ..LinkFault::default()
+            };
+            let transport = FaultyTransport::new(InProc::new(), seed).fault_link(link(), fault);
+            let tx: Box<dyn LinkTx<u32>> = transport.connect_tx(link(), DEADLINE).unwrap();
+            let rx = transport.connect_rx(link(), DEADLINE).unwrap();
+            for i in 0..32 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let mut got = Vec::new();
+            while let Ok(v) = recv(rx.as_ref(), Duration::from_millis(20)) {
+                got.push(v);
+            }
+            got
+        };
+        let a = survivors(11);
+        let b = survivors(11);
+        let c = survivors(12);
+        assert_eq!(a, b, "same seed must reproduce the same drop pattern");
+        assert!(!a.is_empty() && a.len() < 32, "p=0.5 drops some, not all");
+        assert_ne!(a, c, "different seeds should differ (overwhelmingly)");
+    }
+
+    #[test]
+    fn specific_link_rule_beats_sender_rule() {
+        let kill_all = LinkFault {
+            kill_after: Some(0),
+            ..LinkFault::default()
+        };
+        let transport = FaultyTransport::new(InProc::new(), 7)
+            .fault_sender(0, kill_all)
+            .fault_link(link(), LinkFault::default());
+        let tx: Box<dyn LinkTx<u32>> = transport.connect_tx(link(), DEADLINE).unwrap();
+        let rx = transport.connect_rx(link(), DEADLINE).unwrap();
+        tx.send(5).unwrap();
+        assert_eq!(recv(rx.as_ref(), DEADLINE).unwrap(), 5);
+    }
+}

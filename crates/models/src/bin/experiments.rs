@@ -93,7 +93,11 @@ fn main() -> ExitCode {
         println!("{fig}");
         println!(
             "right-shift (blocks favour S_FT): {}\n",
-            if fig.right_shift_holds() { "HOLDS" } else { "VIOLATED" }
+            if fig.right_shift_holds() {
+                "HOLDS"
+            } else {
+                "VIOLATED"
+            }
         );
         if let Some(dir) = &json_dir {
             write_json(dir, "fig8", &fig);

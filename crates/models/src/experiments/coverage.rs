@@ -16,9 +16,7 @@
 
 use std::fmt;
 
-use aoft_faults::{
-    run_campaign, CampaignResult, FaultKind, FaultPlan, TrialOutcome, Trigger,
-};
+use aoft_faults::{run_campaign, CampaignResult, FaultKind, FaultPlan, TrialOutcome, Trigger};
 use aoft_hypercube::NodeId;
 use aoft_sort::{Algorithm, Key, SortBuilder, SortError};
 use serde::{Deserialize, Serialize};
@@ -211,9 +209,15 @@ impl fmt::Display for Coverage {
         writeln!(f, "{}", self.sft)?;
         writeln!(f, "S_FT, pairs of Byzantine nodes")?;
         writeln!(f, "{}", self.sft_multi)?;
-        writeln!(f, "S_FT, faults from the first exchange (beyond assumption 5)")?;
+        writeln!(
+            f,
+            "S_FT, faults from the first exchange (beyond assumption 5)"
+        )?;
         writeln!(f, "{}", self.sft_beyond)?;
-        writeln!(f, "S_NR under the same single faults (unprotected contrast)")?;
+        writeln!(
+            f,
+            "S_NR under the same single faults (unprotected contrast)"
+        )?;
         writeln!(f, "{}", self.snr)?;
         writeln!(
             f,
@@ -228,7 +232,11 @@ impl fmt::Display for Coverage {
         writeln!(
             f,
             "Theorem 3 (never silently wrong within assumptions): {}",
-            if self.theorem3_holds() { "HOLDS" } else { "VIOLATED" }
+            if self.theorem3_holds() {
+                "HOLDS"
+            } else {
+                "VIOLATED"
+            }
         )
     }
 }

@@ -47,14 +47,11 @@ impl Fig6 {
     /// sequential baseline.
     pub fn shape_holds(&self) -> bool {
         self.rows.iter().all(|r| r.snr_ticks <= r.sft_ticks)
-            && self
-                .rows
-                .windows(2)
-                .all(|w| {
-                    let growth_sft = w[1].sft_ticks / w[0].sft_ticks;
-                    let growth_seq = w[1].seq_ticks / w[0].seq_ticks;
-                    growth_sft <= growth_seq * 1.5
-                })
+            && self.rows.windows(2).all(|w| {
+                let growth_sft = w[1].sft_ticks / w[0].sft_ticks;
+                let growth_seq = w[1].seq_ticks / w[0].seq_ticks;
+                growth_sft <= growth_seq * 1.5
+            })
     }
 }
 
@@ -100,7 +97,12 @@ impl fmt::Display for Fig6 {
             "Figure 6 — sorting time (ticks), 1 key/node, uniform random input"
         )?;
         let mut table = TextTable::new(vec![
-            "N", "S_NR", "S_FT", "host-seq", "paper S_FT", "paper seq",
+            "N",
+            "S_NR",
+            "S_FT",
+            "host-seq",
+            "paper S_FT",
+            "paper seq",
         ]);
         for r in &self.rows {
             table.row(vec![

@@ -56,9 +56,7 @@ impl Latency {
     pub fn sft_detects_earlier(&self) -> bool {
         self.rows
             .iter()
-            .filter(|r| {
-                r.sft_detections > 0 && r.host_detections > 0 && r.host_mean_fraction > 0.9
-            })
+            .filter(|r| r.sft_detections > 0 && r.host_detections > 0 && r.host_mean_fraction > 0.9)
             .all(|r| r.sft_mean_fraction < r.host_mean_fraction)
     }
 }
@@ -115,20 +113,14 @@ pub fn run(dim: u32, seed: u64) -> Latency {
                     Trigger::from_seq(at),
                     seed ^ (u64::from(node) << 8) ^ at,
                 );
-                if let Some(f) = detection_fraction(
-                    Algorithm::FaultTolerant,
-                    &plan,
-                    &keys,
-                    sft_baseline_ticks,
-                ) {
+                if let Some(f) =
+                    detection_fraction(Algorithm::FaultTolerant, &plan, &keys, sft_baseline_ticks)
+                {
                     sft_fracs.push(f);
                 }
-                if let Some(f) = detection_fraction(
-                    Algorithm::HostVerified,
-                    &plan,
-                    &keys,
-                    host_baseline_ticks,
-                ) {
+                if let Some(f) =
+                    detection_fraction(Algorithm::HostVerified, &plan, &keys, host_baseline_ticks)
+                {
                     host_fracs.push(f);
                 }
             }
@@ -181,7 +173,11 @@ impl fmt::Display for Latency {
         writeln!(
             f,
             "S_FT detects earlier in every value-fault class (host stuck at ~100%): {}",
-            if self.sft_detects_earlier() { "YES" } else { "NO" }
+            if self.sft_detects_earlier() {
+                "YES"
+            } else {
+                "NO"
+            }
         )
     }
 }

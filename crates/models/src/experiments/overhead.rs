@@ -80,8 +80,7 @@ pub fn run(max_dim: u32, seed: u64) -> Overhead {
 
         let snr = engine.run(&SnrProgram::new(blocks.clone()));
         let sft = engine.run(&SftProgram::new(blocks.clone()));
-        let sep =
-            engine.run(&SftProgram::new(blocks).with_shipping(Shipping::Separate));
+        let sep = engine.run(&SftProgram::new(blocks).with_shipping(Shipping::Separate));
         for report in [&snr, &sft, &sep] {
             assert!(!report.is_fail_stop(), "honest run");
         }
@@ -131,7 +130,11 @@ impl fmt::Display for Overhead {
         writeln!(
             f,
             "identities (S_NR = N·n(n+1)/2; S_FT = +N·n final stage; separate = 2x main loop): {}",
-            if self.identities_hold() { "HOLD" } else { "VIOLATED" }
+            if self.identities_hold() {
+                "HOLD"
+            } else {
+                "VIOLATED"
+            }
         )
     }
 }

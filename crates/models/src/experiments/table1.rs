@@ -193,7 +193,10 @@ mod tests {
             assert!(*r2 > 0.95, "component {i}: R² = {r2}\n{t}");
         }
         // Sequential host computation is calibrated to the paper exactly.
-        assert!((t.fitted.seq_comp_nlogn - t.paper.seq_comp_nlogn).abs() < 0.05, "{t}");
+        assert!(
+            (t.fitted.seq_comp_nlogn - t.paper.seq_comp_nlogn).abs() < 0.05,
+            "{t}"
+        );
     }
 
     #[test]

@@ -42,10 +42,7 @@ pub fn least_squares(rows: &[Vec<f64>], y: &[f64]) -> Fit {
     assert!(!rows.is_empty(), "no observations");
     let k = rows[0].len();
     assert!(k > 0, "at least one basis function");
-    assert!(
-        rows.iter().all(|r| r.len() == k),
-        "ragged basis rows"
-    );
+    assert!(rows.iter().all(|r| r.len() == k), "ragged basis rows");
     assert!(
         rows.len() >= k,
         "need at least as many observations as coefficients"

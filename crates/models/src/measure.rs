@@ -178,7 +178,9 @@ mod tests {
 
     #[test]
     fn sft_ships_more_words_than_snr() {
-        let sft = Measurement::new(Algorithm::FaultTolerant, 16).run().unwrap();
+        let sft = Measurement::new(Algorithm::FaultTolerant, 16)
+            .run()
+            .unwrap();
         let snr = Measurement::new(Algorithm::NonRedundant, 16).run().unwrap();
         assert!(sft.words > snr.words);
         assert!(sft.elapsed_ticks > snr.elapsed_ticks);

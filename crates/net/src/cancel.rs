@@ -1,0 +1,106 @@
+//! Cooperative fail-stop token.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The first (shortest) slice of a blocked transport receive's deadline
+/// wait: a fail-stop signalled around the time a receiver blocks is
+/// observed within one tick of this length.
+pub const CANCEL_POLL_SLICE: Duration = Duration::from_millis(1);
+
+/// The ceiling the poll slice ramps up to while a receive stays blocked —
+/// the worst-case latency for observing a fail-stop.
+pub const CANCEL_POLL_SLICE_MAX: Duration = Duration::from_millis(64);
+
+/// The slice sequence for one blocked receive: starts at
+/// [`CANCEL_POLL_SLICE`], doubles per idle wakeup, caps at
+/// [`CANCEL_POLL_SLICE_MAX`].
+///
+/// The ramp keeps both costs bounded: a cancel racing the start of a
+/// receive is seen within a millisecond, while a receiver parked for a long
+/// timeout wakes ~16×/s instead of 1000×/s — the difference between noise
+/// and livelock when hundreds of node threads share one core.
+#[derive(Debug, Clone)]
+pub struct PollSlices {
+    current: Duration,
+}
+
+impl PollSlices {
+    /// A fresh ramp, starting at [`CANCEL_POLL_SLICE`].
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Self {
+            current: CANCEL_POLL_SLICE,
+        }
+    }
+
+    /// The next wait slice, never longer than `remaining`.
+    pub fn next_slice(&mut self, remaining: Duration) -> Duration {
+        let slice = self.current.min(remaining);
+        self.current = (self.current * 2).min(CANCEL_POLL_SLICE_MAX);
+        slice
+    }
+}
+
+/// Shared fail-stop flag for one run.
+///
+/// The paper's fail-stop discipline halts the whole machine when any node
+/// signals ERROR. All endpoints of a run clone one token; `cancel()` is
+/// idempotent and never blocks, and blocked receives poll the flag on the
+/// [`PollSlices`] ramp, so cancellation propagates to transport-blocked
+/// threads without any transport cooperation.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Signals fail-stop to every holder of this token.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// `true` once any holder has cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+        // Idempotent.
+        b.cancel();
+        assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn slices_ramp_and_cap() {
+        let mut slices = PollSlices::new();
+        let long = Duration::from_secs(60);
+        assert_eq!(slices.next_slice(long), Duration::from_millis(1));
+        assert_eq!(slices.next_slice(long), Duration::from_millis(2));
+        assert_eq!(slices.next_slice(long), Duration::from_millis(4));
+        for _ in 0..10 {
+            slices.next_slice(long);
+        }
+        assert_eq!(slices.next_slice(long), CANCEL_POLL_SLICE_MAX);
+        // Never overshoots the deadline.
+        assert_eq!(
+            slices.next_slice(Duration::from_millis(3)),
+            Duration::from_millis(3)
+        );
+    }
+}

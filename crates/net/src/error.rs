@@ -1,0 +1,59 @@
+//! Transport errors.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Why a transport operation failed.
+///
+/// Every variant is *detectable* by construction — the transport never
+/// delivers corrupted data or silently loses an awaited message; it returns
+/// one of these instead, which the caller converts into a fail-stop event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// Nothing arrived within the deadline.
+    Timeout {
+        /// How long the receiver waited.
+        waited: Duration,
+    },
+    /// The run was cancelled (machine fail-stop) while blocked.
+    Cancelled,
+    /// The peer endpoint is gone: orderly close, dropped handle, or EOF.
+    Closed,
+    /// The heartbeat failure detector declared the peer dead: the
+    /// connection is up but nothing — data or heartbeat — arrived for the
+    /// configured window.
+    PeerDead {
+        /// Silence observed before declaring death.
+        silent_for: Duration,
+    },
+    /// The byte stream failed integrity checks (bad length, version or
+    /// checksum): a detected transmission fault, not a timeout.
+    Codec(String),
+    /// Socket-level failure (connect, read or write).
+    Io(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Timeout { waited } => {
+                write!(f, "no message within {waited:?}")
+            }
+            NetError::Cancelled => write!(f, "cancelled by fail-stop"),
+            NetError::Closed => write!(f, "link closed by peer"),
+            NetError::PeerDead { silent_for } => {
+                write!(f, "peer declared dead after {silent_for:?} of silence")
+            }
+            NetError::Codec(detail) => write!(f, "frame integrity failure: {detail}"),
+            NetError::Io(detail) => write!(f, "transport i/o failure: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,44 @@
+//! Transport layer for AOFT message exchange.
+//!
+//! The simulator (`aoft-sim`) executes the paper's node programs over
+//! directed point-to-point links. This crate makes the link *medium*
+//! pluggable: a [`Transport`] hands out typed unidirectional endpoints
+//! ([`LinkTx`]/[`LinkRx`]) per [`LinkId`], and two backends implement it —
+//!
+//! * [`InProc`]: in-process channels, the original simulator medium;
+//! * [`TcpTransport`]: real TCP over loopback (or any reachable address),
+//!   with a length-prefixed, checksummed frame codec ([`frame`]), per-link
+//!   writer/reader threads, send retry with capped exponential
+//!   [`Backoff`], and a heartbeat-based failure detector that surfaces a
+//!   silent peer as [`NetError::PeerDead`].
+//!
+//! The failure-detection contract matches the paper's fail-stop model
+//! (assumption 4: *a missing message is detectable*): every receive takes a
+//! deadline, and a dead or silent peer yields an error the caller converts
+//! into an executable-assertion violation — never a silent wrong answer.
+//!
+//! Cancellation uses [`CancelToken`], a shared flag every blocked receive
+//! polls at a bounded slice ([`CANCEL_POLL_SLICE`]); when one node
+//! fail-stops the whole machine, peers blocked in `recv` observe it within
+//! one slice regardless of the transport in use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backoff;
+mod cancel;
+mod error;
+pub mod frame;
+mod inproc;
+mod link;
+mod tcp;
+pub mod wire;
+
+pub use backoff::Backoff;
+pub use cancel::{CancelToken, PollSlices, CANCEL_POLL_SLICE, CANCEL_POLL_SLICE_MAX};
+pub use error::NetError;
+pub use frame::{FrameKind, FRAME_VERSION, MAX_FRAME_LEN};
+pub use inproc::InProc;
+pub use link::{LinkId, LinkRx, LinkTx, Transport};
+pub use tcp::{TcpConfig, TcpTransport};
+pub use wire::{CodecError, Wire};

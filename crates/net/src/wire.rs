@@ -1,0 +1,261 @@
+//! Binary encoding of message payloads.
+//!
+//! [`Wire`] is the serialization contract a type must meet to travel over a
+//! byte-stream transport. Encodings are little-endian and fixed-width for
+//! scalars, length-prefixed for sequences — deliberately boring, so the
+//! codec itself cannot mask a data fault: any payload either decodes to
+//! exactly the encoded value or fails with [`CodecError`].
+
+use aoft_hypercube::NodeId;
+
+/// A decoding failure: truncated input, bad tag, or trailing garbage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl CodecError {
+    /// Shorthand constructor.
+    pub fn msg(detail: impl Into<String>) -> Self {
+        CodecError(detail.into())
+    }
+}
+
+/// Types with a self-describing binary encoding.
+///
+/// `decode` consumes bytes from the front of `input`; callers that require
+/// the payload to be exactly one value check the slice is empty afterwards.
+pub trait Wire: Sized {
+    /// Appends this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decodes one value from the front of `input`, advancing it.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] if the bytes are truncated or malformed.
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError>;
+}
+
+/// Encodes `value` into a fresh buffer.
+pub fn to_bytes<T: Wire>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    value.encode(&mut out);
+    out
+}
+
+/// Decodes exactly one `T` from `bytes`, rejecting trailing garbage.
+///
+/// # Errors
+///
+/// [`CodecError`] on truncation, malformed data, or leftover bytes.
+pub fn from_bytes<T: Wire>(bytes: &[u8]) -> Result<T, CodecError> {
+    let mut input = bytes;
+    let value = T::decode(&mut input)?;
+    if !input.is_empty() {
+        return Err(CodecError::msg(format!(
+            "{} trailing bytes after value",
+            input.len()
+        )));
+    }
+    Ok(value)
+}
+
+fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], CodecError> {
+    if input.len() < n {
+        return Err(CodecError::msg(format!(
+            "truncated: need {n} bytes, have {}",
+            input.len()
+        )));
+    }
+    let (head, tail) = input.split_at(n);
+    *input = tail;
+    Ok(head)
+}
+
+macro_rules! wire_scalar {
+    ($($t:ty),* $(,)?) => {$(
+        impl Wire for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+                let bytes = take(input, std::mem::size_of::<$t>())?;
+                Ok(<$t>::from_le_bytes(bytes.try_into().expect("sized take")))
+            }
+        }
+    )*};
+}
+
+wire_scalar!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl Wire for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        match take(input, 1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CodecError::msg(format!("bad bool byte {other:#04x}"))),
+        }
+    }
+}
+
+impl Wire for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let n = u64::decode(input)?;
+        usize::try_from(n).map_err(|_| CodecError::msg(format!("usize overflow: {n}")))
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = u32::decode(input)? as usize;
+        let bytes = take(input, len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::msg("string is not valid UTF-8"))
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = u32::decode(input)? as usize;
+        // A corrupted length must not trigger a huge allocation; elements
+        // are at least one byte each.
+        if len > input.len() {
+            return Err(CodecError::msg(format!(
+                "sequence length {len} exceeds remaining {} bytes",
+                input.len()
+            )));
+        }
+        let mut items = Vec::with_capacity(len);
+        for _ in 0..len {
+            items.push(T::decode(input)?);
+        }
+        Ok(items)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(value) => {
+                out.push(1);
+                value.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        match take(input, 1)?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(input)?)),
+            other => Err(CodecError::msg(format!("bad option tag {other:#04x}"))),
+        }
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok((A::decode(input)?, B::decode(input)?))
+    }
+}
+
+impl Wire for NodeId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.raw().encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(NodeId::new(u32::decode(input)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = to_bytes(&value);
+        assert_eq!(from_bytes::<T>(&bytes).unwrap(), value);
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trip(0u8);
+        round_trip(u32::MAX);
+        round_trip(-1i64);
+        round_trip(true);
+        round_trip(usize::MAX);
+        round_trip(NodeId::new(7));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(vec![1i32, -2, 3]);
+        round_trip(Option::<u32>::None);
+        round_trip(Some(vec![Some(1u8), None]));
+        round_trip("héllo λ".to_string());
+        round_trip((NodeId::new(3), vec![9u64]));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = to_bytes(&vec![1u32, 2, 3]);
+        for cut in 0..bytes.len() {
+            assert!(
+                from_bytes::<Vec<u32>>(&bytes[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = to_bytes(&7u32);
+        bytes.push(0);
+        assert!(from_bytes::<u32>(&bytes).is_err());
+    }
+
+    #[test]
+    fn hostile_length_rejected_without_allocation() {
+        // A 4 GiB length claim backed by 4 bytes must fail fast.
+        let bytes = u32::MAX.to_le_bytes();
+        assert!(from_bytes::<Vec<u8>>(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        assert!(from_bytes::<bool>(&[2]).is_err());
+        assert!(from_bytes::<Option<u8>>(&[9, 1]).is_err());
+    }
+}

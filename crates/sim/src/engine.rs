@@ -1,9 +1,10 @@
 use std::fmt;
 use std::sync::Arc;
+use std::time::Duration;
 
 use aoft_hypercube::{Hypercube, NodeId};
-use crossbeam_channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use aoft_net::{InProc, LinkId, LinkRx, LinkTx, Transport};
+use crossbeam_channel::unbounded;
 
 use crate::adversary::AdversarySet;
 use crate::error::{ErrorReport, SimError};
@@ -15,41 +16,14 @@ use crate::program::Program;
 use crate::trace::Trace;
 use crate::SimConfig;
 
-/// Cooperative fail-stop token shared by every endpoint of a run.
-///
-/// Cancellation is signalled by dropping the single `Sender<()>`: every
-/// cloned observer `Receiver` becomes disconnected at once, which wakes all
-/// blocked `select!` receives immediately — no polling, no lost wakeups.
-#[derive(Clone)]
-pub(crate) struct CancelToken {
-    trigger: Arc<Mutex<Option<Sender<()>>>>,
-    observer: Receiver<()>,
-}
+// The machine-wide fail-stop token now lives in the transport layer, where
+// every blocked receive — channel or socket — polls it.
+pub(crate) use aoft_net::CancelToken;
 
-impl CancelToken {
-    pub(crate) fn new() -> Self {
-        let (tx, rx) = unbounded();
-        Self {
-            trigger: Arc::new(Mutex::new(Some(tx))),
-            observer: rx,
-        }
-    }
-
-    pub(crate) fn cancel(&self) {
-        self.trigger.lock().take();
-    }
-
-    pub(crate) fn is_cancelled(&self) -> bool {
-        matches!(
-            self.observer.try_recv(),
-            Err(crossbeam_channel::TryRecvError::Disconnected)
-        )
-    }
-
-    pub(crate) fn observer(&self) -> &Receiver<()> {
-        &self.observer
-    }
-}
+/// How long link establishment may block per endpoint. Instant for
+/// [`InProc`]; for TCP it bounds the dial plus the acceptor's routing of the
+/// handshake, which on loopback is well under a millisecond per link.
+const LINK_DEADLINE: Duration = Duration::from_secs(5);
 
 /// How a run ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -123,20 +97,41 @@ impl<T> RunReport<T> {
     }
 }
 
-/// The simulated multicomputer: topology plus configuration.
+/// The simulated multicomputer: topology, configuration and the medium its
+/// links run over.
+///
+/// `Engine` is generic over the [`Transport`] that carries node-to-node
+/// traffic. The default, [`InProc`], moves packets over in-process channels
+/// — the original simulator. [`Engine::with_transport`] substitutes any
+/// other medium (e.g. `aoft_net::TcpTransport` for a real-socket cluster)
+/// without touching program code: host links and error signalling stay
+/// in-process because the paper's host links are reliable by assumption 2,
+/// and the medium under test is the node interconnect.
 ///
 /// See the [crate-level documentation](crate) for the simulation model and
 /// an end-to-end example.
-#[derive(Debug, Clone)]
-pub struct Engine {
+pub struct Engine<T = InProc> {
     cube: Hypercube,
     config: SimConfig,
+    transport: Arc<T>,
 }
 
 impl Engine {
-    /// Creates a machine with the given topology and configuration.
+    /// Creates a machine with the given topology and configuration, linked
+    /// by in-process channels.
     pub fn new(cube: Hypercube, config: SimConfig) -> Self {
-        Self { cube, config }
+        Self::with_transport(cube, config, InProc::new())
+    }
+}
+
+impl<T> Engine<T> {
+    /// Creates a machine whose node links run over `transport`.
+    pub fn with_transport(cube: Hypercube, config: SimConfig, transport: T) -> Self {
+        Self {
+            cube,
+            config,
+            transport: Arc::new(transport),
+        }
     }
 
     /// The machine's topology.
@@ -149,12 +144,18 @@ impl Engine {
         &self.config
     }
 
+    /// The medium carrying node-to-node traffic.
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
     /// Runs `program` on every node of a fully honest machine, with no host
     /// logic beyond error collection.
     pub fn run<M, P>(&self, program: &P) -> RunReport<P::Output>
     where
         M: Payload,
         P: Program<M>,
+        T: Transport<Packet<M>>,
     {
         self.run_faulty(program, AdversarySet::honest(self.cube.len()))
     }
@@ -168,6 +169,7 @@ impl Engine {
     where
         M: Payload,
         P: Program<M>,
+        T: Transport<Packet<M>>,
     {
         self.run_with_host(program, adversaries, |_host| {}).0
     }
@@ -179,8 +181,8 @@ impl Engine {
     ///
     /// # Panics
     ///
-    /// Panics if `adversaries` was built for a different machine size, or if
-    /// a node program panics.
+    /// Panics if `adversaries` was built for a different machine size, if
+    /// the transport cannot establish a link, or if a node program panics.
     pub fn run_with_host<M, P, H, R>(
         &self,
         program: &P,
@@ -191,6 +193,7 @@ impl Engine {
         M: Payload,
         P: Program<M>,
         H: FnOnce(&mut HostCtx<'_, M>) -> R,
+        T: Transport<Packet<M>>,
     {
         let n = self.cube.len();
         assert_eq!(
@@ -200,26 +203,42 @@ impl Engine {
             adversaries.len()
         );
 
-        // Directed node-to-node channels: channel[u][d] carries u -> u^2^d.
+        // Directed node-to-node links through the transport: for each u and
+        // dimension d, link {from: u, to: u^2^d, tag: d}. Every sending end
+        // is dialled first so that, over a socket medium, all handshakes are
+        // in flight before any receiving end starts waiting for one.
         let dims = self.cube.dim() as usize;
-        let mut out_links: Vec<Vec<Sender<Packet<M>>>> = (0..n).map(|_| Vec::new()).collect();
-        let mut in_links: Vec<Vec<Option<Receiver<Packet<M>>>>> =
-            (0..n).map(|_| vec![None; dims]).collect();
-        for (u, outs) in out_links.iter_mut().enumerate() {
-            #[allow(clippy::needless_range_loop)] // d indexes both ends of the wiring
-            for d in 0..dims {
-                let (tx, rx) = unbounded();
-                outs.push(tx);
-                let v = NodeId::new(u as u32).neighbor(d as u32).index();
-                in_links[v][d] = Some(rx);
+        let transport = &*self.transport;
+        let link_id = |from: usize, d: usize| {
+            let to = NodeId::new(from as u32).neighbor(d as u32).raw();
+            LinkId {
+                from: from as u32,
+                to,
+                tag: d as u8,
             }
-        }
-        let mut in_links: Vec<Vec<Receiver<Packet<M>>>> = in_links
-            .into_iter()
-            .map(|links| {
-                links
-                    .into_iter()
-                    .map(|l| l.expect("every directed link wired"))
+        };
+        let mut out_links: Vec<Vec<Box<dyn LinkTx<Packet<M>>>>> = (0..n)
+            .map(|u| {
+                (0..dims)
+                    .map(|d| {
+                        let id = link_id(u, d);
+                        transport
+                            .connect_tx(id, LINK_DEADLINE)
+                            .unwrap_or_else(|e| panic!("establish send link {id}: {e}"))
+                    })
+                    .collect()
+            })
+            .collect();
+        // in_links[v][d] receives from v's dimension-d neighbor.
+        let mut in_links: Vec<Vec<Box<dyn LinkRx<Packet<M>>>>> = (0..n)
+            .map(|v| {
+                (0..dims)
+                    .map(|d| {
+                        let id = link_id(NodeId::new(v as u32).neighbor(d as u32).index(), d);
+                        transport
+                            .connect_rx(id, LINK_DEADLINE)
+                            .unwrap_or_else(|e| panic!("establish recv link {id}: {e}"))
+                    })
                     .collect()
             })
             .collect();
@@ -264,43 +283,44 @@ impl Engine {
         }
 
         let cube = self.cube;
-        let (node_results, host_result, host_metrics, host_events) =
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(n);
-                for (id, outs, ins, host_tx, host_rx, adversary) in node_inputs {
-                    let err_tx = err_tx.clone();
-                    let cancel = cancel.clone();
-                    let cost = &cost;
-                    let program = &program;
-                    handles.push(scope.spawn(move || {
-                        let mut ctx = NodeCtx::new(
-                            id, cube, cost, timeout, outs, ins, host_tx, host_rx, err_tx,
-                            cancel, adversary, tracing,
-                        );
-                        let result = program.run(&mut ctx);
-                        let (metrics, events) = ctx.finish();
-                        (id, result, metrics, events)
-                    }));
-                }
+        let (node_results, host_result, host_metrics, host_events) = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (id, outs, ins, host_tx, host_rx, adversary) in node_inputs {
+                let err_tx = err_tx.clone();
+                let cancel = cancel.clone();
+                let cost = &cost;
+                let program = &program;
+                handles.push(scope.spawn(move || {
+                    let mut ctx = NodeCtx::new(
+                        id, cube, cost, timeout, outs, ins, host_tx, host_rx, err_tx, cancel,
+                        adversary, tracing,
+                    );
+                    let result = program.run(&mut ctx);
+                    let (metrics, events) = ctx.finish();
+                    (id, result, metrics, events)
+                }));
+            }
 
-                let mut host_ctx = HostCtx::new(
-                    cube,
-                    &cost,
-                    timeout,
-                    from_host_txs,
-                    to_host_rxs,
-                    err_tx.clone(),
-                    cancel.clone(),
-                    tracing,
-                );
-                let host_result = host_fn(&mut host_ctx);
-                let (host_metrics, host_events) = host_ctx.finish();
+            let mut host_ctx = HostCtx::new(
+                cube,
+                &cost,
+                timeout,
+                from_host_txs,
+                to_host_rxs,
+                err_tx.clone(),
+                cancel.clone(),
+                tracing,
+            );
+            let host_result = host_fn(&mut host_ctx);
+            let (host_metrics, host_events) = host_ctx.finish();
 
-                let mut node_results: Vec<_> =
-                    handles.into_iter().map(|h| h.join().expect("node thread panicked")).collect();
-                node_results.sort_by_key(|(id, ..)| *id);
-                (node_results, host_result, host_metrics, host_events)
-            });
+            let mut node_results: Vec<_> = handles
+                .into_iter()
+                .map(|h| h.join().expect("node thread panicked"))
+                .collect();
+            node_results.sort_by_key(|(id, ..)| *id);
+            (node_results, host_result, host_metrics, host_events)
+        });
 
         drop(err_tx);
         let mut reports: Vec<ErrorReport> = err_rx.try_iter().collect();
@@ -359,7 +379,28 @@ impl Engine {
     }
 }
 
-impl fmt::Display for Engine {
+impl<T> Clone for Engine<T> {
+    /// Clones share the transport (an `Arc`), so two clones of a TCP engine
+    /// route over the same listener.
+    fn clone(&self) -> Self {
+        Self {
+            cube: self.cube,
+            config: self.config,
+            transport: Arc::clone(&self.transport),
+        }
+    }
+}
+
+impl<T> fmt::Debug for Engine<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("cube", &self.cube)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> fmt::Display for Engine<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Engine on {}", self.cube)
     }

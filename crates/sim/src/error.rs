@@ -102,7 +102,9 @@ mod tests {
             waited: Duration::from_millis(250),
         };
         assert!(missing.to_string().contains("P3"));
-        let closed = SimError::LinkClosed { peer: NodeId::new(1) };
+        let closed = SimError::LinkClosed {
+            peer: NodeId::new(1),
+        };
         assert!(closed.to_string().contains("P1"));
         let bad = SimError::NotANeighbor {
             from: NodeId::new(0),

@@ -174,10 +174,7 @@ impl<'a, M: Payload> HostCtx<'a, M> {
     ///
     /// Fails on the first node whose upload is missing.
     pub fn gather(&mut self) -> Result<Vec<M>, SimError> {
-        self.cube
-            .nodes()
-            .map(|node| self.recv_from(node))
-            .collect()
+        self.cube.nodes().map(|node| self.recv_from(node)).collect()
     }
 
     /// Downloads one message to every node, in label order.

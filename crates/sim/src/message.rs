@@ -1,6 +1,7 @@
 use std::fmt;
 
 use aoft_hypercube::NodeId;
+use aoft_net::Wire;
 
 use crate::Ticks;
 
@@ -60,6 +61,36 @@ pub struct Packet<M> {
     pub seq: u64,
     /// The program-level data.
     pub payload: M,
+}
+
+impl<M: Wire> Wire for Packet<M> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.src.encode(out);
+        self.dst.encode(out);
+        self.available_at.encode(out);
+        self.seq.encode(out);
+        self.payload.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, aoft_net::CodecError> {
+        Ok(Packet {
+            src: NodeId::decode(input)?,
+            dst: NodeId::decode(input)?,
+            available_at: Ticks::decode(input)?,
+            seq: u64::decode(input)?,
+            payload: M::decode(input)?,
+        })
+    }
+}
+
+impl Wire for Word {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, aoft_net::CodecError> {
+        Ok(Word(u32::decode(input)?))
+    }
 }
 
 #[cfg(test)]

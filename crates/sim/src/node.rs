@@ -1,6 +1,7 @@
 use std::time::Duration;
 
 use aoft_hypercube::{Hypercube, NodeId};
+use aoft_net::{LinkRx, LinkTx, NetError, PollSlices};
 use crossbeam_channel::{Receiver, Sender};
 
 use crate::adversary::{Action, Adversary, SendContext};
@@ -25,8 +26,8 @@ pub struct NodeCtx<'a, M: Payload> {
     cube: Hypercube,
     cost: &'a CostModel,
     timeout: Duration,
-    out_links: Vec<Sender<Packet<M>>>,
-    in_links: Vec<Receiver<Packet<M>>>,
+    out_links: Vec<Box<dyn LinkTx<Packet<M>>>>,
+    in_links: Vec<Box<dyn LinkRx<Packet<M>>>>,
     host_tx: Sender<Packet<M>>,
     host_rx: Receiver<Packet<M>>,
     err_tx: Sender<ErrorReport>,
@@ -45,8 +46,8 @@ impl<'a, M: Payload> NodeCtx<'a, M> {
         cube: Hypercube,
         cost: &'a CostModel,
         timeout: Duration,
-        out_links: Vec<Sender<Packet<M>>>,
-        in_links: Vec<Receiver<Packet<M>>>,
+        out_links: Vec<Box<dyn LinkTx<Packet<M>>>>,
+        in_links: Vec<Box<dyn LinkRx<Packet<M>>>>,
         host_tx: Sender<Packet<M>>,
         host_rx: Receiver<Packet<M>>,
         err_tx: Sender<ErrorReport>,
@@ -150,7 +151,10 @@ impl<'a, M: Payload> NodeCtx<'a, M> {
             .id
             .adjacency_dim(dst)
             .filter(|_| self.cube.contains(dst))
-            .ok_or(SimError::NotANeighbor { from: self.id, to: dst })?;
+            .ok_or(SimError::NotANeighbor {
+                from: self.id,
+                to: dst,
+            })?;
 
         let words = payload.wire_size();
         let cost = self.cost.link_cost(words);
@@ -193,10 +197,7 @@ impl<'a, M: Payload> NodeCtx<'a, M> {
                         .adjacency_dim(target)
                         .filter(|_| self.cube.contains(target))
                         .unwrap_or_else(|| {
-                            panic!(
-                                "adversary at {} fanned to non-neighbor {}",
-                                self.id, target
-                            )
+                            panic!("adversary at {} fanned to non-neighbor {}", self.id, target)
                         });
                     self.deliver(target_dim, target, seq, m);
                 }
@@ -214,7 +215,9 @@ impl<'a, M: Payload> NodeCtx<'a, M> {
             payload,
         };
         // A closed link means the peer already terminated (fail-stop in
-        // progress); the message is simply lost.
+        // progress); the message is simply lost. Over a socket medium the
+        // transport queues asynchronously, so delivery failure surfaces at
+        // the receiver — either way, receiver-side detection (assumption 4).
         let _ = self.out_links[dim as usize].send(packet);
     }
 
@@ -232,25 +235,20 @@ impl<'a, M: Payload> NodeCtx<'a, M> {
     ///   host.
     pub fn recv_from(&mut self, src: NodeId) -> Result<M, SimError> {
         if src == HOST_ID {
-            let packet = recv_packet(
-                &self.host_rx,
-                &self.cancel,
-                self.timeout,
-                src,
-            )?;
+            let packet = recv_packet(&self.host_rx, &self.cancel, self.timeout, src)?;
             return Ok(self.accept(packet));
         }
         let dim = self
             .id
             .adjacency_dim(src)
             .filter(|_| self.cube.contains(src))
-            .ok_or(SimError::NotANeighbor { from: self.id, to: src })?;
-        let packet = recv_packet(
-            &self.in_links[dim as usize],
-            &self.cancel,
-            self.timeout,
-            src,
-        )?;
+            .ok_or(SimError::NotANeighbor {
+                from: self.id,
+                to: src,
+            })?;
+        let packet = self.in_links[dim as usize]
+            .recv_deadline(self.timeout, &self.cancel)
+            .map_err(|err| map_net_error(err, src, self.timeout))?;
         Ok(self.accept(packet))
     }
 
@@ -367,20 +365,55 @@ impl<M: Payload> std::fmt::Debug for NodeCtx<'_, M> {
     }
 }
 
-/// Blocking receive with cancellation and timeout — shared by node and host
-/// endpoints.
+/// Translates a transport-level failure into the simulator's error model.
+///
+/// Anything that means "the peer can no longer be heard from" — an orderly
+/// close, the failure detector's verdict, a corrupted stream, a dead socket
+/// — collapses to [`SimError::LinkClosed`]: under the paper's fail-stop
+/// model they all carry the same information (the peer is gone or cannot be
+/// trusted) and all feed the same `signal ERROR to host` path.
+pub(crate) fn map_net_error(err: NetError, peer: NodeId, waited: Duration) -> SimError {
+    match err {
+        NetError::Timeout { .. } => SimError::MissingMessage { from: peer, waited },
+        NetError::Cancelled => SimError::Cancelled,
+        NetError::Closed | NetError::PeerDead { .. } | NetError::Codec(_) | NetError::Io(_) => {
+            SimError::LinkClosed { peer }
+        }
+    }
+}
+
+/// Blocking receive on a reliable host channel with cancellation and
+/// timeout.
+///
+/// The wait is sliced into short ticks so a fail-stop signalled on another
+/// thread is observed within one slice even while this endpoint is blocked —
+/// the same discipline transport receivers follow (see `aoft-net`).
 pub(crate) fn recv_packet<M>(
     rx: &Receiver<Packet<M>>,
     cancel: &CancelToken,
     timeout: Duration,
     peer: NodeId,
 ) -> Result<Packet<M>, SimError> {
-    crossbeam_channel::select! {
-        recv(rx) -> res => res.map_err(|_| SimError::LinkClosed { peer }),
-        recv(cancel.observer()) -> _ => Err(SimError::Cancelled),
-        default(timeout) => Err(SimError::MissingMessage {
-            from: peer,
-            waited: timeout,
-        }),
+    let deadline = std::time::Instant::now() + timeout;
+    let mut slices = PollSlices::new();
+    loop {
+        if cancel.is_cancelled() {
+            return Err(SimError::Cancelled);
+        }
+        let now = std::time::Instant::now();
+        if now >= deadline {
+            return Err(SimError::MissingMessage {
+                from: peer,
+                waited: timeout,
+            });
+        }
+        let slice = slices.next_slice(deadline - now);
+        match rx.recv_timeout(slice) {
+            Ok(packet) => return Ok(packet),
+            Err(crossbeam_channel::RecvTimeoutError::Timeout) => continue,
+            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
+                return Err(SimError::LinkClosed { peer })
+            }
+        }
     }
 }

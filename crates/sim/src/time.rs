@@ -21,17 +21,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.as_millis(), 3_500);
 /// ```
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    Default,
-    Serialize,
-    Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
 )]
 #[serde(transparent)]
 pub struct Ticks(u64);
@@ -73,6 +63,16 @@ impl Ticks {
     /// The later of two instants.
     pub fn max(self, rhs: Ticks) -> Ticks {
         Ticks(self.0.max(rhs.0))
+    }
+}
+
+impl aoft_net::Wire for Ticks {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, aoft_net::CodecError> {
+        Ok(Ticks(u64::decode(input)?))
     }
 }
 
@@ -181,9 +181,7 @@ impl CostModel {
 
     /// Communication cost of one host-link message of `words` payload words.
     pub fn host_link_cost(&self, words: usize) -> Ticks {
-        Ticks::from_millis(
-            self.host_send_startup_millis + self.host_per_word_millis * words as u64,
-        )
+        Ticks::from_millis(self.host_send_startup_millis + self.host_per_word_millis * words as u64)
     }
 
     /// Compute cost of `count` key comparisons.

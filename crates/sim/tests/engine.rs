@@ -177,7 +177,10 @@ fn signal_error_fail_stops_whole_machine() {
     );
     let start = std::time::Instant::now();
     let report = eng.run(&program);
-    assert!(start.elapsed() < Duration::from_secs(5), "cancel wakes receivers");
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "cancel wakes receivers"
+    );
     assert!(report.is_fail_stop());
     let primary = &report.reports()[0];
     assert_eq!(primary.detector, NodeId::new(2));
@@ -262,10 +265,7 @@ impl Adversary<Word> for Reroute {
     fn intercept(&mut self, ctx: &SendContext, payload: Word) -> Action<Word> {
         // Send the true payload to the intended destination AND a forged
         // word to the dimension-1 neighbor.
-        Action::Fan(vec![
-            (ctx.dst, payload),
-            (ctx.src.neighbor(1), Word(999)),
-        ])
+        Action::Fan(vec![(ctx.dst, payload), (ctx.src.neighbor(1), Word(999))])
     }
 }
 
@@ -297,16 +297,12 @@ fn host_gather_and_scatter() {
         Ok(ctx.recv_host()?.0)
     };
     let eng = engine(2);
-    let (report, gathered) = eng.run_with_host(
-        &program,
-        AdversarySet::honest(4),
-        |host| {
-            let values = host.gather().expect("all nodes upload");
-            let doubled: Vec<Word> = values.iter().map(|w| Word(w.0 * 2)).collect();
-            host.scatter(doubled).expect("all nodes alive");
-            values.iter().map(|w| w.0).collect::<Vec<u32>>()
-        },
-    );
+    let (report, gathered) = eng.run_with_host(&program, AdversarySet::honest(4), |host| {
+        let values = host.gather().expect("all nodes upload");
+        let doubled: Vec<Word> = values.iter().map(|w| Word(w.0 * 2)).collect();
+        host.scatter(doubled).expect("all nodes alive");
+        values.iter().map(|w| w.0).collect::<Vec<u32>>()
+    });
     assert_eq!(gathered, vec![0, 10, 20, 30]);
     let outputs = report.outputs().unwrap();
     assert_eq!(outputs, &[0, 20, 40, 60]);

@@ -116,10 +116,7 @@ fn ncube_model_charges_fractional_words() {
         }
     }
     let report = engine.run(&OneWord);
-    assert_eq!(
-        report.metrics().nodes[0].send_time.as_millis(),
-        16_000 + 25
-    );
+    assert_eq!(report.metrics().nodes[0].send_time.as_millis(), 16_000 + 25);
 }
 
 proptest! {

@@ -11,7 +11,10 @@ use aoft::sort::{Algorithm, SortBuilder};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let nodes = 16usize;
     println!("N = {nodes} nodes, sweeping keys-per-node m:\n");
-    println!("{:>6} {:>10} {:>14} {:>14} {:>9}", "m", "keys", "S_FT ticks", "host ticks", "ratio");
+    println!(
+        "{:>6} {:>10} {:>14} {:>14} {:>9}",
+        "m", "keys", "S_FT ticks", "host ticks", "ratio"
+    );
 
     for m in [1usize, 4, 16, 64, 256] {
         let keys: Vec<i32> = (0..(nodes * m) as i64)

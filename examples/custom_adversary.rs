@@ -52,8 +52,8 @@ fn main() {
     adversaries.install(
         aoft::hypercube::NodeId::new(9),
         Box::new(ForgeOnce {
-            at_seq: 2,             // third send: a stage-1 exchange
-            forged: vec![-12345],  // sorted-looking but foreign value
+            at_seq: 2,            // third send: a stage-1 exchange
+            forged: vec![-12345], // sorted-looking but foreign value
         }),
     );
 

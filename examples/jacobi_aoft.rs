@@ -115,10 +115,7 @@ impl Program<JacobiMsg> for JacobiProgram {
                 )?;
                 // Its echo field carries what we sent it *last* round.
                 if iter > 0 && (got.echo - sent_prev).abs() > 1e-9 {
-                    ctx.signal_error(
-                        3,
-                        format!("Φ_C: {l} echoed {} ≠ {sent_prev}", got.echo),
-                    );
+                    ctx.signal_error(3, format!("Φ_C: {l} echoed {} ≠ {sent_prev}", got.echo));
                     return Err(SimError::Cancelled);
                 }
                 heard_left = Some(got.value);
@@ -157,9 +154,7 @@ impl Program<JacobiMsg> for JacobiProgram {
             if let (Some(l), Some(r)) = (heard_left, heard_right) {
                 let next = (l + r) / 2.0;
                 if iter > 0 {
-                    let bound = (l - last_from_left)
-                        .abs()
-                        .max((r - last_from_right).abs());
+                    let bound = (l - last_from_left).abs().max((r - last_from_right).abs());
                     let step = (next - x).abs();
                     if step > bound + 1e-9 {
                         ctx.signal_error(
@@ -202,8 +197,8 @@ fn main() {
     let outputs = report.outputs().expect("honest run completes");
     println!("Jacobi solution (ring order), after {ITERATIONS} iterations:");
     for (pos, node) in ring.iter().enumerate() {
-        let exact = LEFT_BOUNDARY
-            + (RIGHT_BOUNDARY - LEFT_BOUNDARY) * pos as f64 / (ring.len() - 1) as f64;
+        let exact =
+            LEFT_BOUNDARY + (RIGHT_BOUNDARY - LEFT_BOUNDARY) * pos as f64 / (ring.len() - 1) as f64;
         let got = outputs[node.index()];
         println!("  pos {pos:>2} ({node}): {got:>7.3}   exact {exact:>7.3}");
         assert!(

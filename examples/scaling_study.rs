@@ -13,7 +13,10 @@ use aoft::sort::{Algorithm, SortBuilder};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Measured sizes (the paper had a 32-node cube; we can go bigger).
     println!("measured (ticks):");
-    println!("{:>6} {:>12} {:>12} {:>12}", "N", "S_NR", "S_FT", "host-seq");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "N", "S_NR", "S_FT", "host-seq"
+    );
     for dim in 2..=6u32 {
         let nodes = 1usize << dim;
         let keys: Vec<i32> = (0..nodes as i32).map(|x| (x * 37 + 5) % 211).collect();

@@ -1,0 +1,328 @@
+//! Offline shim for `criterion`: the benchmarking API surface this
+//! workspace uses, measured with plain wall-clock timing.
+//!
+//! No statistics, plots, or baselines — each benchmark is calibrated to a
+//! short measurement window and reports mean time per iteration (plus
+//! throughput when configured). Good enough to compare codec or sort
+//! variants on one machine; not a replacement for real criterion numbers.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measurement_time: Duration::from_millis(400),
+            warm_up_time: Duration::from_millis(100),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; CLI flags are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let measurement_time = self.measurement_time;
+        let warm_up_time = self.warm_up_time;
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            measurement_time,
+            warm_up_time,
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single benchmark outside a group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_benchmark(
+            f,
+            self.warm_up_time,
+            self.measurement_time,
+            self.sample_size,
+        );
+        print_report(name, &report, None);
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the measurement window per benchmark.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Sets the warm-up window per benchmark.
+    pub fn warm_up_time(&mut self, time: Duration) -> &mut Self {
+        self.warm_up_time = time;
+        self
+    }
+
+    /// Sets the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the work per iteration, enabling a rate in the report.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let report = run_benchmark(
+            |b| f(b, input),
+            self.warm_up_time,
+            self.measurement_time,
+            self.sample_size,
+        );
+        let label = format!("{}/{}", self.name, id.label);
+        print_report(&label, &report, self.throughput.as_ref());
+        self
+    }
+
+    /// Runs one named benchmark in this group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_benchmark(
+            f,
+            self.warm_up_time,
+            self.measurement_time,
+            self.sample_size,
+        );
+        let label = format!("{}/{}", self.name, name);
+        print_report(&label, &report, self.throughput.as_ref());
+        self
+    }
+
+    /// Ends the group (reports are printed as benchmarks run).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one parameterized benchmark.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Debug, Clone)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing context passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+struct Report {
+    mean_ns_per_iter: f64,
+}
+
+fn run_benchmark<F>(
+    mut f: F,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+) -> Report
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up and calibration: double iteration counts until one batch
+    // fills a slice of the warm-up window.
+    let mut iters: u64 = 1;
+    let warm_start = Instant::now();
+    let mut per_iter_ns;
+    loop {
+        let mut bencher = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        per_iter_ns = bencher.elapsed.as_nanos() as f64 / iters.max(1) as f64;
+        if warm_start.elapsed() >= warm_up || bencher.elapsed >= warm_up / 4 {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+
+    // Choose a batch size so `sample_size` batches fit the measurement
+    // window, then time them.
+    let budget_ns = measurement.as_nanos() as f64 / sample_size.max(1) as f64;
+    let batch = if per_iter_ns.is_finite() && per_iter_ns > 0.0 {
+        ((budget_ns / per_iter_ns) as u64).clamp(1, 1_000_000_000)
+    } else {
+        1_000
+    };
+
+    let mut total_ns = 0.0;
+    let mut total_iters: u64 = 0;
+    let measure_start = Instant::now();
+    for _ in 0..sample_size.max(1) {
+        let mut bencher = Bencher {
+            iters: batch,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        total_ns += bencher.elapsed.as_nanos() as f64;
+        total_iters += batch;
+        // Never exceed 4x the window even if calibration was off.
+        if measure_start.elapsed() > measurement * 4 {
+            break;
+        }
+    }
+
+    Report {
+        mean_ns_per_iter: total_ns / total_iters.max(1) as f64,
+    }
+}
+
+fn print_report(label: &str, report: &Report, throughput: Option<&Throughput>) {
+    let ns = report.mean_ns_per_iter;
+    let time = if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = *n as f64 / (ns / 1e9);
+            println!("{label:<48} {time}/iter   {:.2} Melem/s", rate / 1e6);
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = *n as f64 / (ns / 1e9);
+            println!(
+                "{label:<48} {time}/iter   {:.2} MiB/s",
+                rate / (1024.0 * 1024.0)
+            );
+        }
+        None => println!("{label:<48} {time}/iter"),
+    }
+}
+
+/// Bundles benchmark functions into a group runner, as real criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_closure() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(10),
+            warm_up_time: Duration::from_millis(2),
+            sample_size: 3,
+        };
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(4)).bench_with_input(
+            BenchmarkId::new("sum", 4),
+            &4u64,
+            |b, &n| b.iter(|| (0..n).sum::<u64>()),
+        );
+        group.finish();
+    }
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(10),
+            warm_up_time: Duration::from_millis(2),
+            sample_size: 2,
+        };
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

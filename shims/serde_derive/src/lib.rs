@@ -1,0 +1,507 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! without syn/quote.
+//!
+//! The macro hand-parses the item's token stream (plain structs and enums,
+//! no generics) and emits impls of the value-tree `serde::Serialize` /
+//! `serde::Deserialize` traits defined by the serde shim. Conventions match
+//! serde_json:
+//!
+//! * named-field structs -> objects;
+//! * 1-field tuple structs -> the inner value (newtype), which also covers
+//!   `#[serde(transparent)]`;
+//! * n-field tuple structs -> arrays;
+//! * enums are externally tagged: unit variants -> `"Name"`, one-field
+//!   variants -> `{"Name": value}`, n-field tuple variants ->
+//!   `{"Name": [..]}`, struct variants -> `{"Name": {..}}`.
+//!
+//! Unsupported shapes (generics, unions) produce a compile error naming the
+//! limitation rather than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Which {
+    Serialize,
+    Deserialize,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+fn expand(input: TokenStream, which: Which) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let code = match which {
+                Which::Serialize => gen_serialize(&item),
+                Which::Deserialize => gen_deserialize(&item),
+            };
+            code.parse().expect("derive shim emitted invalid Rust")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// Parses the derive input down to names: struct/enum, field names or tuple
+/// arity per variant. Types are irrelevant — generated code only calls
+/// trait methods on field values.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`#[...]`) and visibility (`pub`, `pub(crate)`).
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Consume the bracket group.
+                match tokens.next() {
+                    Some(TokenTree::Group(_)) => {}
+                    other => return Err(format!("malformed attribute near {other:?}")),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                if s == "union" {
+                    return Err("serde shim derive: unions are not supported".into());
+                }
+                // e.g. `#[repr(...)]` handled above; any other modifier is
+                // unexpected for the shapes this workspace derives.
+            }
+            Some(other) => return Err(format!("unexpected token {other}")),
+            None => return Err("unexpected end of derive input".into()),
+        }
+    };
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive: generic type `{name}` is not supported"
+            ));
+        }
+    }
+
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) => g,
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+            return Ok(Item::Struct {
+                name,
+                fields: Fields::Unit,
+            })
+        }
+        Some(TokenTree::Ident(id)) if id.to_string() == "where" => {
+            return Err(format!(
+                "serde shim derive: where-clauses on `{name}` are not supported"
+            ))
+        }
+        other => return Err(format!("expected item body, found {other:?}")),
+    };
+
+    if kind == "struct" {
+        let fields = match body.delimiter() {
+            Delimiter::Brace => Fields::Named(parse_named_fields(body.stream())?),
+            Delimiter::Parenthesis => Fields::Tuple(count_tuple_fields(body.stream())),
+            _ => return Err("unexpected struct body delimiter".into()),
+        };
+        Ok(Item::Struct { name, fields })
+    } else {
+        Ok(Item::Enum {
+            name,
+            variants: parse_variants(body.stream())?,
+        })
+    }
+}
+
+/// Field names of a named-field body (struct or enum-variant brace group).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    'outer: loop {
+        // Skip per-field attributes and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next(); // the [...] group
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                Some(_) => break,
+                None => break 'outer,
+            }
+        }
+        let field = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after `{field}`, found {other:?}")),
+        }
+        fields.push(field);
+        // Consume the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    depth += 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    depth -= 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                Some(_) => {
+                    tokens.next();
+                }
+                None => break 'outer,
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Arity of a tuple body: top-level comma count (+1 if non-empty, ignoring
+/// a trailing comma).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut depth = 0i32;
+    let mut saw_token_since_comma = false;
+    for token in stream {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                saw_token_since_comma = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                saw_token_since_comma = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_token_since_comma = false;
+            }
+            _ => saw_token_since_comma = true,
+        }
+    }
+    if saw_token_since_comma {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes (doc comments included).
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                _ => break,
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                tokens.next();
+                Fields::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let named = parse_named_fields(g.stream())?;
+                tokens.next();
+                Fields::Named(named)
+            }
+            _ => Fields::Unit,
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err("serde shim derive: explicit discriminants not supported".into())
+            }
+            None => {
+                variants.push(Variant { name, fields });
+                break;
+            }
+            other => return Err(format!("expected `,` after variant, found {other:?}")),
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fields) => {
+                    let mut entries = String::new();
+                    for f in fields {
+                        entries.push_str(&format!(
+                            "(::std::string::String::from({f:?}), \
+                             ::serde::Serialize::to_value(&self.{f})),"
+                        ));
+                    }
+                    format!("::serde::Value::Map(::std::vec![{entries}])")
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let mut items = String::new();
+                    for i in 0..*n {
+                        items.push_str(&format!("::serde::Serialize::to_value(&self.{i}),"));
+                    }
+                    format!("::serde::Value::Seq(::std::vec![{items}])")
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => \
+                         ::serde::Value::Str(::std::string::String::from({vname:?})),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: String = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                                .collect();
+                            format!("::serde::Value::Seq(::std::vec![{items}])")
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from({vname:?}), {payload})]),",
+                            binds.join(",")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binds = fields.join(",");
+                        let entries: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({f:?}), \
+                                     ::serde::Serialize::to_value({f})),"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}{{{binds}}} => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from({vname:?}), \
+                              ::serde::Value::Map(::std::vec![{entries}]))]),"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fields) => {
+                    let mut inits = String::new();
+                    for f in fields {
+                        inits.push_str(&format!(
+                            "{f}: ::serde::de_field(__entries, {f:?}, {name:?})?,"
+                        ));
+                    }
+                    format!(
+                        "let __entries = __v.as_map().ok_or_else(|| \
+                         ::serde::DeError::expected(\"object\", {name:?}, __v))?;\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})"
+                    )
+                }
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let mut inits = String::new();
+                    for i in 0..*n {
+                        inits.push_str(&format!(
+                            "::serde::Deserialize::from_value(&__items[{i}])?,"
+                        ));
+                    }
+                    format!(
+                        "let __items = __v.as_seq().ok_or_else(|| \
+                         ::serde::DeError::expected(\"array\", {name:?}, __v))?;\n\
+                         if __items.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::msg(\
+                                 ::std::format!(\"expected {n} elements for {name}, got {{}}\", __items.len())));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}({inits}))"
+                    )
+                }
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+            };
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}),"
+                    )),
+                    Fields::Tuple(1) => tagged_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok(\
+                         {name}::{vname}(::serde::Deserialize::from_value(__inner)?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let mut inits = String::new();
+                        for i in 0..*n {
+                            inits.push_str(&format!(
+                                "::serde::Deserialize::from_value(&__items[{i}])?,"
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                                 let __items = __inner.as_seq().ok_or_else(|| \
+                                 ::serde::DeError::expected(\"array\", {vname:?}, __inner))?;\n\
+                                 if __items.len() != {n} {{\n\
+                                     return ::std::result::Result::Err(::serde::DeError::msg(\
+                                     ::std::format!(\"expected {n} elements for {name}::{vname}, got {{}}\", __items.len())));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok({name}::{vname}({inits}))\n\
+                             }},"
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{f}: ::serde::de_field(__entries, {f:?}, {vname:?})?,"
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                                 let __entries = __inner.as_map().ok_or_else(|| \
+                                 ::serde::DeError::expected(\"object\", {vname:?}, __inner))?;\n\
+                                 ::std::result::Result::Ok({name}::{vname} {{ {inits} }})\n\
+                             }},"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         if let ::std::option::Option::Some(__tag) = __v.as_str() {{\n\
+                             return match __tag {{\n\
+                                 {unit_arms}\n\
+                                 __other => ::std::result::Result::Err(::serde::DeError::msg(\
+                                     ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                             }};\n\
+                         }}\n\
+                         let __entries = __v.as_map().ok_or_else(|| \
+                             ::serde::DeError::expected(\"string or object\", {name:?}, __v))?;\n\
+                         if __entries.len() != 1 {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::msg(\
+                                 ::std::format!(\"expected single-key object for {name}, got {{}} keys\", __entries.len())));\n\
+                         }}\n\
+                         let (__tag, __inner) = (&__entries[0].0, &__entries[0].1);\n\
+                         match __tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             __other => ::std::result::Result::Err(::serde::DeError::msg(\
+                                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}

@@ -98,9 +98,24 @@ fn exhaustive_triple_fault_sweep_on_dim3() {
         for b in (a + 1)..7 {
             for c in (b + 1)..8 {
                 let plan = FaultPlan::new()
-                    .with_fault(NodeId::new(a), FaultKind::RandomByzantine, Trigger::from_seq(1), 1)
-                    .with_fault(NodeId::new(b), FaultKind::RandomByzantine, Trigger::from_seq(1), 2)
-                    .with_fault(NodeId::new(c), FaultKind::RandomByzantine, Trigger::from_seq(1), 3);
+                    .with_fault(
+                        NodeId::new(a),
+                        FaultKind::RandomByzantine,
+                        Trigger::from_seq(1),
+                        1,
+                    )
+                    .with_fault(
+                        NodeId::new(b),
+                        FaultKind::RandomByzantine,
+                        Trigger::from_seq(1),
+                        2,
+                    )
+                    .with_fault(
+                        NodeId::new(c),
+                        FaultKind::RandomByzantine,
+                        Trigger::from_seq(1),
+                        3,
+                    );
                 let result = SortBuilder::new(Algorithm::FaultTolerant)
                     .keys(keys.clone())
                     .fault_plan(plan)

@@ -117,12 +117,8 @@ fn two_faced_sends_are_caught_by_consistency() {
 #[test]
 fn message_loss_fail_stops_via_timeout() {
     let keys = demo_keys(8);
-    let plan = FaultPlan::new().with_fault(
-        NodeId::new(3),
-        FaultKind::Crash,
-        Trigger::from_seq(2),
-        0,
-    );
+    let plan =
+        FaultPlan::new().with_fault(NodeId::new(3), FaultKind::Crash, Trigger::from_seq(2), 0);
     assert_eq!(sft_outcome(plan, &keys), Outcome::Detected);
 }
 
@@ -223,12 +219,8 @@ fn detection_reports_identify_a_predicate() {
     // When a data corruption is detected, the report must carry a
     // meaningful violation code (1..=9), not a bare runtime failure.
     let keys = demo_keys(16);
-    let plan = FaultPlan::new().with_fault(
-        NodeId::new(2),
-        FaultKind::TwoFaced,
-        Trigger::from_seq(1),
-        3,
-    );
+    let plan =
+        FaultPlan::new().with_fault(NodeId::new(2), FaultKind::TwoFaced, Trigger::from_seq(1), 3);
     match SortBuilder::new(Algorithm::FaultTolerant)
         .keys(keys)
         .fault_plan(plan)

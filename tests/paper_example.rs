@@ -73,8 +73,7 @@ fn sft_adds_only_the_final_verification_messages() {
             .keys(keys)
             .run()
             .unwrap();
-        let extra =
-            sft.metrics().node_total().msgs_sent - snr.metrics().node_total().msgs_sent;
+        let extra = sft.metrics().node_total().msgs_sent - snr.metrics().node_total().msgs_sent;
         assert_eq!(extra, u64::from(dim) * nodes as u64, "dim {dim}");
     }
 }

@@ -88,7 +88,9 @@ fn keys_from_seed(len: usize, seed: u64) -> Vec<i32> {
     let mut state = seed | 1;
     (0..len)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as i32
         })
         .collect()
@@ -118,7 +120,11 @@ fn all_equal_keys() {
 #[test]
 fn single_node_all_algorithms() {
     for algorithm in Algorithm::ALL {
-        assert_eq!(run(algorithm, vec![5, 3, 4], 1), vec![3, 4, 5], "{algorithm}");
+        assert_eq!(
+            run(algorithm, vec![5, 3, 4], 1),
+            vec![3, 4, 5],
+            "{algorithm}"
+        );
     }
 }
 

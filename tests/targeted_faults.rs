@@ -68,11 +68,19 @@ fn lbs_only_corruption_is_caught_by_consistency_or_feasibility() {
     let reports = run_with(Box::new(LbsOnly { from_seq: 1 }), 3, 3);
     let code = primary_code(&reports);
     let caught_by = [
-        Violation::Inconsistent { stage: 0, step: 0, entry: NodeId::new(0) }.code(),
+        Violation::Inconsistent {
+            stage: 0,
+            step: 0,
+            entry: NodeId::new(0),
+        }
+        .code(),
         Violation::NotPermutation { stage: 0 }.code(),
         Violation::NonBitonic { stage: 0 }.code(),
     ];
-    assert!(caught_by.contains(&code), "unexpected code {code}: {reports:?}");
+    assert!(
+        caught_by.contains(&code),
+        "unexpected code {code}: {reports:?}"
+    );
 }
 
 /// Corrupts only the compare-exchange operand, leaving the piggyback clean:
@@ -107,7 +115,10 @@ fn data_only_corruption_is_caught_at_a_stage_boundary() {
     // The operand divergence surfaces as a feasibility failure (the value
     // was never part of the input), possibly observed as a bitonicity or
     // consistency break first depending on where the value lands.
-    assert!((1..=3).contains(&code), "unexpected code {code}: {reports:?}");
+    assert!(
+        (1..=3).contains(&code),
+        "unexpected code {code}: {reports:?}"
+    );
 }
 
 /// Claims entries the sender cannot legitimately hold: the wire carries a
@@ -185,7 +196,12 @@ fn withheld_entries_trip_missing_entry() {
     let code = primary_code(&reports);
     assert_eq!(
         code,
-        Violation::MissingEntry { stage: 0, step: 0, entry: NodeId::new(0) }.code(),
+        Violation::MissingEntry {
+            stage: 0,
+            step: 0,
+            entry: NodeId::new(0)
+        }
+        .code(),
         "{reports:?}"
     );
 }
@@ -216,7 +232,12 @@ fn malformed_blocks_are_rejected_structurally() {
     let code = primary_code(&reports);
     assert_eq!(
         code,
-        Violation::MalformedBlock { stage: 0, expected: 0, got: 0 }.code(),
+        Violation::MalformedBlock {
+            stage: 0,
+            expected: 0,
+            got: 0
+        }
+        .code(),
         "{reports:?}"
     );
 }

@@ -1,0 +1,91 @@
+//! Acceptance tests for the transport abstraction: the same `S_FT`
+//! schedule over real loopback TCP, clean and under a transport-level
+//! peer kill.
+
+use std::time::{Duration, Instant};
+
+use aoft::faults::{FaultyTransport, LinkFault};
+use aoft::sim::{TcpConfig, TcpTransport};
+use aoft::sort::{Algorithm, SortBuilder, SortError};
+
+fn tcp() -> TcpTransport {
+    TcpTransport::bind(TcpConfig::default()).expect("bind loopback listener")
+}
+
+fn builder(keys: Vec<i32>) -> SortBuilder {
+    SortBuilder::new(Algorithm::FaultTolerant)
+        .keys(keys)
+        .nodes(8)
+        .recv_timeout(Duration::from_millis(800))
+}
+
+#[test]
+fn sft_sorts_d3_cube_over_loopback_tcp() {
+    let keys: Vec<i32> = (0..32i32).map(|x| x.wrapping_mul(-97) % 50).collect();
+    let report = builder(keys.clone()).run_on(tcp()).expect("clean TCP run");
+    let mut expected = keys;
+    expected.sort_unstable();
+    assert_eq!(report.output(), expected.as_slice());
+    assert_eq!(report.blocks().len(), 8, "d=3 cube has 8 nodes");
+}
+
+#[test]
+fn killed_peer_fail_stops_with_error_report() {
+    let keys: Vec<i32> = (0..32).collect();
+    // Node 5 goes fail-silent after two sends per link: mid-stage, its
+    // peers stop hearing from it while it still believes its sends land.
+    let kill = LinkFault {
+        kill_after: Some(2),
+        ..LinkFault::default()
+    };
+    let faulty = FaultyTransport::new(tcp(), 3).fault_sender(5, kill);
+    match builder(keys).run_on(faulty) {
+        Ok(_) => panic!("a silenced peer must not produce a sorted result"),
+        Err(SortError::Detected { reports }) => {
+            assert!(!reports.is_empty(), "fail-stop must carry diagnostics");
+            // Receiver-side detection: the violation is a missing message
+            // observed by a healthy node, not a sender-side I/O error.
+            assert!(
+                reports.iter().any(|r| r.detail.contains("no message")),
+                "reports should name the starved receive: {reports:?}"
+            );
+        }
+        Err(other) => panic!("expected Detected, got {other:?}"),
+    }
+}
+
+#[test]
+fn snr_also_runs_over_tcp() {
+    // The non-redundant baseline is transport-generic too — nothing in the
+    // medium is S_FT-specific.
+    let keys: Vec<i32> = (0..16i32).map(|x| 31 - 2 * x).collect();
+    let report = SortBuilder::new(Algorithm::NonRedundant)
+        .keys(keys.clone())
+        .nodes(8)
+        .recv_timeout(Duration::from_millis(800))
+        .run_on(tcp())
+        .expect("clean S_NR TCP run");
+    let mut expected = keys;
+    expected.sort_unstable();
+    assert_eq!(report.output(), expected.as_slice());
+}
+
+#[test]
+fn detection_latency_is_bounded_by_recv_timeout() {
+    // The whole point of deadline-based receives: a dead peer costs one
+    // timeout, not a hang. Allow generous scheduling slack on top.
+    let keys: Vec<i32> = (0..32).collect();
+    let kill = LinkFault {
+        kill_after: Some(0),
+        ..LinkFault::default()
+    };
+    let faulty = FaultyTransport::new(tcp(), 9).fault_sender(2, kill);
+    let start = Instant::now();
+    let result = builder(keys).run_on(faulty);
+    assert!(matches!(result, Err(SortError::Detected { .. })));
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "detection took {:?}",
+        start.elapsed()
+    );
+}
