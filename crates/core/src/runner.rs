@@ -6,6 +6,7 @@ use std::time::Duration;
 
 use aoft_faults::FaultPlan;
 use aoft_hypercube::Hypercube;
+use aoft_net::Backoff;
 use aoft_sim::{
     CostModel, Engine, ErrorReport, InProc, Packet, RunMetrics, RunReport, SimConfig, Ticks, Trace,
     Transport,
@@ -184,6 +185,9 @@ pub struct SortBuilder {
     plan: FaultPlan,
     trace: bool,
     direction: SortDirection,
+    job: u64,
+    backoff_initial: Duration,
+    backoff_max: Duration,
 }
 
 impl SortBuilder {
@@ -199,6 +203,9 @@ impl SortBuilder {
             plan: FaultPlan::new(),
             trace: false,
             direction: SortDirection::Ascending,
+            job: 0,
+            backoff_initial: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(160),
         }
     }
 
@@ -250,6 +257,29 @@ impl SortBuilder {
     /// Selects ascending (default) or descending output order.
     pub fn direction(mut self, direction: SortDirection) -> Self {
         self.direction = direction;
+        self
+    }
+
+    /// Tags every packet of this run with a job id (see
+    /// [`SimConfig::job`]).
+    ///
+    /// Irrelevant for a one-shot sort on a fresh transport; required to be
+    /// unique per run when a service multiplexes a stream of sorts over
+    /// reused links, so stale frames from a fail-stopped predecessor are
+    /// discarded instead of consumed.
+    pub fn job(mut self, id: u64) -> Self {
+        self.job = id;
+        self
+    }
+
+    /// Sets the capped-exponential delay slept between retry attempts
+    /// (`initial, 2·initial, … ≤ max` — `aoft_net`'s [`Backoff`] policy).
+    ///
+    /// Defaults to 10 ms capped at 160 ms. An `initial` of zero disables
+    /// the inter-attempt sleep entirely.
+    pub fn retry_backoff(mut self, initial: Duration, max: Duration) -> Self {
+        self.backoff_initial = initial;
+        self.backoff_max = max;
         self
     }
 
@@ -331,7 +361,8 @@ impl SortBuilder {
         let config = SimConfig::new()
             .cost_model(self.cost)
             .recv_timeout(self.timeout)
-            .trace(self.trace);
+            .trace(self.trace)
+            .job(self.job);
         let engine = Engine::with_transport(cube, config, transport);
         let keys: Vec<Key> = match self.direction {
             SortDirection::Ascending => self.keys,
@@ -393,6 +424,11 @@ impl SortBuilder {
     /// supplies the faults active during each attempt (a transient fault
     /// simply stops appearing; a permanent one exhausts the budget).
     ///
+    /// Between attempts the builder sleeps on the capped-exponential
+    /// schedule set by [`retry_backoff`](SortBuilder::retry_backoff),
+    /// giving a transient environmental fault time to clear instead of
+    /// immediately re-running into it.
+    ///
     /// The never-silently-wrong guarantee is preserved: every individual
     /// attempt is a full `S_FT` run.
     ///
@@ -413,11 +449,58 @@ impl SortBuilder {
     where
         F: FnMut(usize) -> FaultPlan,
     {
+        self.retry_loop(attempts, |builder, attempt| {
+            builder.fault_plan(plan_for_attempt(attempt)).run()
+        })
+    }
+
+    /// Like [`run_with_retry`](SortBuilder::run_with_retry), but each
+    /// attempt runs over the transport `transport_for_attempt` supplies —
+    /// the entry point a resident service uses to retry a fail-stopped job
+    /// on a *different* machine (e.g. a degraded subcube avoiding the
+    /// diagnosed suspects, via
+    /// [`MappedTransport`](aoft_sim::MappedTransport)).
+    ///
+    /// The injected fault plan stays whatever
+    /// [`fault_plan`](SortBuilder::fault_plan) configured (normally empty:
+    /// over a real medium the faults are environmental, not injected).
+    ///
+    /// # Errors
+    ///
+    /// As [`run_with_retry`](SortBuilder::run_with_retry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attempts` is zero.
+    pub fn run_with_retry_on<T, F>(
+        self,
+        attempts: usize,
+        mut transport_for_attempt: F,
+    ) -> Result<RetryReport, SortError>
+    where
+        T: Transport<Packet<Msg>>,
+        F: FnMut(usize) -> T,
+    {
+        self.retry_loop(attempts, |builder, attempt| {
+            builder.run_on(transport_for_attempt(attempt))
+        })
+    }
+
+    fn retry_loop<F>(self, attempts: usize, mut run_attempt: F) -> Result<RetryReport, SortError>
+    where
+        F: FnMut(SortBuilder, usize) -> Result<SortReport, SortError>,
+    {
         assert!(attempts > 0, "at least one attempt");
+        let mut backoff = Backoff::new(self.backoff_initial, self.backoff_max);
         let mut detections = Vec::new();
         for attempt in 0..attempts {
-            let run = self.clone().fault_plan(plan_for_attempt(attempt)).run();
-            match run {
+            if attempt > 0 {
+                let delay = backoff.next_delay();
+                if delay > Duration::ZERO {
+                    std::thread::sleep(delay);
+                }
+            }
+            match run_attempt(self.clone(), attempt) {
                 Ok(report) => {
                     return Ok(RetryReport {
                         report,
@@ -646,6 +729,65 @@ mod tests {
             .recv_timeout(Duration::from_millis(300))
             .run_with_retry(2, permanent);
         assert!(matches!(result, Err(SortError::Detected { .. })));
+    }
+
+    #[test]
+    fn retry_sleeps_on_the_backoff_schedule() {
+        let permanent = |_: usize| {
+            FaultPlan::new().with_fault(
+                NodeId::new(1),
+                FaultKind::CorruptValue,
+                Trigger::from_seq(1),
+                3,
+            )
+        };
+        let start = std::time::Instant::now();
+        let result = SortBuilder::new(Algorithm::FaultTolerant)
+            .keys((0..8).rev().collect())
+            .recv_timeout(Duration::from_millis(300))
+            .retry_backoff(Duration::from_millis(60), Duration::from_millis(60))
+            .run_with_retry(2, permanent);
+        assert!(matches!(result, Err(SortError::Detected { .. })));
+        assert!(
+            start.elapsed() >= Duration::from_millis(60),
+            "second attempt must wait out the backoff, elapsed {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn retry_on_swaps_transports_between_attempts() {
+        use aoft_faults::{FaultyTransport, LinkFault};
+        use aoft_sim::InProc;
+
+        let keys: Vec<Key> = (0..16).rev().collect();
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        let retry = SortBuilder::new(Algorithm::FaultTolerant)
+            .keys(keys)
+            .nodes(8)
+            .recv_timeout(Duration::from_millis(300))
+            .retry_backoff(Duration::ZERO, Duration::ZERO)
+            .run_with_retry_on(2, |attempt| {
+                let transport = FaultyTransport::new(InProc::new(), 7);
+                if attempt == 0 {
+                    // First medium silences node 5 after two sends; the
+                    // replacement medium is clean.
+                    transport.fault_sender(
+                        5,
+                        LinkFault {
+                            kill_after: Some(2),
+                            ..LinkFault::default()
+                        },
+                    )
+                } else {
+                    transport
+                }
+            })
+            .expect("clean transport on the second attempt");
+        assert_eq!(retry.attempts_used, 2);
+        assert_eq!(retry.detections.len(), 1);
+        assert_eq!(retry.report.output(), expected);
     }
 
     #[test]

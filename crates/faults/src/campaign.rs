@@ -18,9 +18,10 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use aoft_hypercube::NodeId;
 use serde::{Deserialize, Serialize};
 
-use crate::FaultPlan;
+use crate::{FaultKind, FaultPlan, Trigger};
 
 /// Classification of one fault-injection trial.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -169,6 +170,53 @@ where
     result
 }
 
+/// Generates the `(label, plan)` stream for a *service-level* fault
+/// campaign: `jobs` consecutive sort jobs of which every `period`-th runs
+/// under an injected fault, the rest clean.
+///
+/// A resident service is exercised differently from a one-shot run — the
+/// interesting question is whether a continuous job stream survives faults
+/// arriving *sporadically over time* with zero silently-wrong deliveries.
+/// Faulty jobs rotate deterministically through `kinds` and through the
+/// `nodes` labels, so a long soak visits every (kind, node) combination
+/// without any randomness to un-reproduce a failure.
+///
+/// Labels are `"clean"` or the fault kind's name, matching what
+/// [`run_campaign`] tabulates by. `period == 0` yields an all-clean stream.
+///
+/// # Panics
+///
+/// Panics if `nodes` is zero or `kinds` is empty while `period > 0`.
+pub fn periodic_fault_stream(
+    jobs: usize,
+    period: usize,
+    nodes: u32,
+    kinds: &[FaultKind],
+) -> Vec<(String, FaultPlan)> {
+    assert!(nodes > 0, "a machine has at least one node");
+    if period > 0 {
+        assert!(!kinds.is_empty(), "need at least one fault kind to inject");
+    }
+    (0..jobs)
+        .map(|job| {
+            let faulty = period > 0 && (job + 1) % period == 0;
+            if !faulty {
+                return ("clean".to_string(), FaultPlan::new());
+            }
+            let strike = (job + 1) / period - 1;
+            let kind = kinds[strike % kinds.len()];
+            let node = NodeId::new((strike as u32) % nodes);
+            let plan = FaultPlan::new().with_fault(
+                node,
+                kind,
+                Trigger::from_seq(1 + (strike as u64) % 3),
+                0x5eed ^ job as u64,
+            );
+            (kind.name().to_string(), plan)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +286,43 @@ mod tests {
         assert!(text.contains("crash"));
         assert!(text.contains("TOTAL"));
         assert!(text.contains("100.0%"));
+    }
+
+    #[test]
+    fn periodic_stream_rotates_kinds_and_nodes() {
+        let kinds = [FaultKind::CorruptValue, FaultKind::Crash];
+        let stream = periodic_fault_stream(12, 3, 4, &kinds);
+        assert_eq!(stream.len(), 12);
+        let faulty: Vec<usize> = stream
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, plan))| !plan.specs().is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(faulty, vec![2, 5, 8, 11], "every third job is faulty");
+        assert_eq!(stream[2].0, "corrupt-value");
+        assert_eq!(stream[5].0, "crash");
+        assert_eq!(stream[8].0, "corrupt-value");
+        // Strikes walk the labels: 0, 1, 2, 3.
+        let nodes: Vec<u32> = faulty
+            .iter()
+            .map(|&i| stream[i].1.specs()[0].node.raw())
+            .collect();
+        assert_eq!(nodes, vec![0, 1, 2, 3]);
+        for (label, plan) in &stream {
+            if label == "clean" {
+                assert!(plan.specs().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_period_is_all_clean() {
+        let stream = periodic_fault_stream(5, 0, 8, &[]);
+        assert_eq!(stream.len(), 5);
+        assert!(stream
+            .iter()
+            .all(|(label, plan)| { label == "clean" && plan.specs().is_empty() }));
     }
 
     #[test]

@@ -53,7 +53,9 @@ mod trigger;
 pub use adversaries::{
     Crash, Delayer, MessageDropper, RandomByzantine, StuckStale, TwoFaced, ValueCorruptor,
 };
-pub use campaign::{run_campaign, CampaignResult, KindStats, TrialOutcome, TrialRecord};
+pub use campaign::{
+    periodic_fault_stream, run_campaign, CampaignResult, KindStats, TrialOutcome, TrialRecord,
+};
 pub use corrupt::Corruptible;
 pub use plan::{FaultKind, FaultPlan, FaultSpec};
 pub use transport::{FaultyTransport, LinkFault};

@@ -26,19 +26,23 @@
 #![warn(missing_docs)]
 
 mod backoff;
+mod cache;
 mod cancel;
 mod error;
 pub mod frame;
 mod inproc;
 mod link;
+mod remap;
 mod tcp;
 pub mod wire;
 
 pub use backoff::Backoff;
+pub use cache::LinkCache;
 pub use cancel::{CancelToken, PollSlices, CANCEL_POLL_SLICE, CANCEL_POLL_SLICE_MAX};
 pub use error::NetError;
 pub use frame::{FrameKind, FRAME_VERSION, MAX_FRAME_LEN};
 pub use inproc::InProc;
 pub use link::{LinkId, LinkRx, LinkTx, Transport};
+pub use remap::MappedTransport;
 pub use tcp::{TcpConfig, TcpTransport};
 pub use wire::{CodecError, Wire};

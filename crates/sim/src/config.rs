@@ -21,16 +21,18 @@ pub struct SimConfig {
     cost: CostModel,
     recv_timeout: Duration,
     trace: bool,
+    job: u64,
 }
 
 impl SimConfig {
     /// Default configuration: Ncube-calibrated cost model, 2 s receive
-    /// timeout, tracing off.
+    /// timeout, tracing off, job id 0.
     pub fn new() -> Self {
         Self {
             cost: CostModel::default(),
             recv_timeout: Duration::from_secs(2),
             trace: false,
+            job: 0,
         }
     }
 
@@ -53,6 +55,20 @@ impl SimConfig {
         self
     }
 
+    /// Tags every packet of this run with a job id.
+    ///
+    /// When the engine owns its transport (one machine per run) the tag is
+    /// inert. A resident service reusing links across a stream of jobs must
+    /// give each run a *distinct* id: receivers silently discard packets
+    /// whose tag differs from their own (counted in
+    /// [`NodeMetrics::stale_dropped`](crate::NodeMetrics)), so a frame left
+    /// in flight by a fail-stopped run cannot be consumed as data by the
+    /// next one.
+    pub fn job(mut self, id: u64) -> Self {
+        self.job = id;
+        self
+    }
+
     /// The configured cost model.
     pub fn cost(&self) -> &CostModel {
         &self.cost
@@ -66,6 +82,11 @@ impl SimConfig {
     /// `true` if event tracing is enabled.
     pub fn trace_enabled(&self) -> bool {
         self.trace
+    }
+
+    /// The configured job id.
+    pub fn job_id(&self) -> u64 {
+        self.job
     }
 }
 

@@ -262,6 +262,7 @@ impl<T> Engine<T> {
         let cost = *self.config.cost();
         let timeout = self.config.timeout();
         let tracing = self.config.trace_enabled();
+        let job = self.config.job_id();
 
         let mut slots = adversaries.take_all();
         let mut node_inputs = Vec::with_capacity(n);
@@ -293,7 +294,7 @@ impl<T> Engine<T> {
                 handles.push(scope.spawn(move || {
                     let mut ctx = NodeCtx::new(
                         id, cube, cost, timeout, outs, ins, host_tx, host_rx, err_tx, cancel,
-                        adversary, tracing,
+                        adversary, job, tracing,
                     );
                     let result = program.run(&mut ctx);
                     let (metrics, events) = ctx.finish();
@@ -309,6 +310,7 @@ impl<T> Engine<T> {
                 to_host_rxs,
                 err_tx.clone(),
                 cancel.clone(),
+                job,
                 tracing,
             );
             let host_result = host_fn(&mut host_ctx);

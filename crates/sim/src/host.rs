@@ -28,6 +28,7 @@ pub struct HostCtx<'a, M: Payload> {
     from_nodes: Vec<Receiver<Packet<M>>>,
     err_tx: Sender<ErrorReport>,
     cancel: CancelToken,
+    job: u64,
     clock: Ticks,
     seq: u64,
     metrics: NodeMetrics,
@@ -44,6 +45,7 @@ impl<'a, M: Payload> HostCtx<'a, M> {
         from_nodes: Vec<Receiver<Packet<M>>>,
         err_tx: Sender<ErrorReport>,
         cancel: CancelToken,
+        job: u64,
         trace: bool,
     ) -> Self {
         Self {
@@ -54,6 +56,7 @@ impl<'a, M: Payload> HostCtx<'a, M> {
             from_nodes,
             err_tx,
             cancel,
+            job,
             clock: Ticks::ZERO,
             seq: 0,
             metrics: NodeMetrics::default(),
@@ -131,6 +134,7 @@ impl<'a, M: Payload> HostCtx<'a, M> {
             dst: node,
             available_at: self.clock,
             seq,
+            job: self.job,
             payload,
         };
         self.to_nodes[node.index()]

@@ -76,7 +76,10 @@ mod time;
 mod trace;
 
 pub use adversary::{Action, Adversary, AdversarySet, SendContext};
-pub use aoft_net::{InProc, LinkId, NetError, TcpConfig, TcpTransport, Transport, Wire};
+pub use aoft_net::{
+    Backoff, InProc, LinkCache, LinkId, MappedTransport, NetError, TcpConfig, TcpTransport,
+    Transport, Wire,
+};
 pub use config::SimConfig;
 pub use engine::{Engine, Outcome, RunReport};
 pub use error::{ErrorReport, SimError};

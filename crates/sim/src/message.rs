@@ -59,6 +59,15 @@ pub struct Packet<M> {
     pub available_at: Ticks,
     /// Sequence number of this send at the sender, starting from 0.
     pub seq: u64,
+    /// The run this packet belongs to (see [`SimConfig::job`]).
+    ///
+    /// Links are scoped to one run when the engine owns the transport, but a
+    /// resident service reuses links across a stream of jobs; the tag lets a
+    /// receiver discard frames left over from an earlier (e.g. fail-stopped)
+    /// run instead of consuming them as current data.
+    ///
+    /// [`SimConfig::job`]: crate::SimConfig::job
+    pub job: u64,
     /// The program-level data.
     pub payload: M,
 }
@@ -69,6 +78,7 @@ impl<M: Wire> Wire for Packet<M> {
         self.dst.encode(out);
         self.available_at.encode(out);
         self.seq.encode(out);
+        self.job.encode(out);
         self.payload.encode(out);
     }
 
@@ -78,6 +88,7 @@ impl<M: Wire> Wire for Packet<M> {
             dst: NodeId::decode(input)?,
             available_at: Ticks::decode(input)?,
             seq: u64::decode(input)?,
+            job: u64::decode(input)?,
             payload: M::decode(input)?,
         })
     }
@@ -121,6 +132,7 @@ mod tests {
             dst: NodeId::new(3),
             available_at: Ticks::from_ticks(9),
             seq: 4,
+            job: 0,
             payload: Word(11),
         };
         assert_eq!(p.payload.0, 11);

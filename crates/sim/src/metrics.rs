@@ -29,6 +29,9 @@ pub struct NodeMetrics {
     pub finished_at: Ticks,
     /// Number of `signal_error` calls made by this endpoint.
     pub errors_signalled: u64,
+    /// Frames from another job discarded on a reused link (see
+    /// [`SimConfig::job`](crate::SimConfig::job)).
+    pub stale_dropped: u64,
 }
 
 impl NodeMetrics {
@@ -48,6 +51,7 @@ impl NodeMetrics {
         self.compute_time += other.compute_time;
         self.finished_at = self.finished_at.max(other.finished_at);
         self.errors_signalled += other.errors_signalled;
+        self.stale_dropped += other.stale_dropped;
     }
 }
 
@@ -143,6 +147,7 @@ mod tests {
             compute_time: Ticks::from_ticks(3),
             finished_at: Ticks::from_ticks(clock),
             errors_signalled: 0,
+            stale_dropped: 0,
         }
     }
 

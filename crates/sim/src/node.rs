@@ -33,6 +33,7 @@ pub struct NodeCtx<'a, M: Payload> {
     err_tx: Sender<ErrorReport>,
     cancel: CancelToken,
     adversary: Option<Box<dyn Adversary<M>>>,
+    job: u64,
     clock: Ticks,
     seq: u64,
     metrics: NodeMetrics,
@@ -53,6 +54,7 @@ impl<'a, M: Payload> NodeCtx<'a, M> {
         err_tx: Sender<ErrorReport>,
         cancel: CancelToken,
         adversary: Option<Box<dyn Adversary<M>>>,
+        job: u64,
         trace: bool,
     ) -> Self {
         Self {
@@ -67,6 +69,7 @@ impl<'a, M: Payload> NodeCtx<'a, M> {
             err_tx,
             cancel,
             adversary,
+            job,
             clock: Ticks::ZERO,
             seq: 0,
             metrics: NodeMetrics::default(),
@@ -212,6 +215,7 @@ impl<'a, M: Payload> NodeCtx<'a, M> {
             dst,
             available_at: self.clock,
             seq,
+            job: self.job,
             payload,
         };
         // A closed link means the peer already terminated (fail-stop in
@@ -246,10 +250,27 @@ impl<'a, M: Payload> NodeCtx<'a, M> {
                 from: self.id,
                 to: src,
             })?;
-        let packet = self.in_links[dim as usize]
-            .recv_deadline(self.timeout, &self.cancel)
-            .map_err(|err| map_net_error(err, src, self.timeout))?;
-        Ok(self.accept(packet))
+        // Drain frames left over from earlier runs on a reused link: a
+        // resident service keeps links alive across jobs, so a packet
+        // abandoned mid-flight by a fail-stopped run may still be queued.
+        // Consuming it as current data would be a silent wrong answer; the
+        // job tag makes staleness detectable (receiver-side, assumption 4).
+        let deadline = std::time::Instant::now() + self.timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            let packet = self.in_links[dim as usize]
+                .recv_deadline(remaining, &self.cancel)
+                .map_err(|err| map_net_error(err, src, self.timeout))?;
+            if packet.job != self.job {
+                self.metrics.stale_dropped += 1;
+                self.record(EventKind::StaleDropped {
+                    from: src,
+                    job: packet.job,
+                });
+                continue;
+            }
+            return Ok(self.accept(packet));
+        }
     }
 
     fn accept(&mut self, packet: Packet<M>) -> M {
@@ -290,6 +311,7 @@ impl<'a, M: Payload> NodeCtx<'a, M> {
             dst: HOST_ID,
             available_at: self.clock,
             seq,
+            job: self.job,
             payload,
         };
         self.host_tx

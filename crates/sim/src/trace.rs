@@ -46,6 +46,13 @@ pub enum EventKind {
         /// Application-level violation code.
         code: u32,
     },
+    /// A frame from another job was discarded on a reused link.
+    StaleDropped {
+        /// The neighbor whose link carried the stale frame.
+        from: NodeId,
+        /// The job id the stale frame was tagged with.
+        job: u64,
+    },
 }
 
 /// One traced event at one endpoint.
@@ -72,6 +79,9 @@ impl fmt::Display for Event {
                 write!(f, "ADVERSARY rewrote -> {to} ({delivered} delivered)")
             }
             EventKind::ErrorSignalled { code } => write!(f, "ERROR signalled (code {code})"),
+            EventKind::StaleDropped { from, job } => {
+                write!(f, "stale frame <- {from} (job {job}) dropped")
+            }
         }
     }
 }
@@ -193,9 +203,11 @@ impl Trace {
                         name(event.node)
                     );
                 }
-                // Receives are implied by the arrows; compute is noise at
-                // diagram granularity.
-                EventKind::Recv { .. } | EventKind::Compute { .. } => {}
+                // Receives are implied by the arrows; compute and stale
+                // drops are noise at diagram granularity.
+                EventKind::Recv { .. }
+                | EventKind::Compute { .. }
+                | EventKind::StaleDropped { .. } => {}
             }
         }
         out

@@ -1,0 +1,151 @@
+//! Service-wide metrics: job counters, latency percentiles, and merged
+//! simulator counters.
+
+use std::time::Duration;
+
+use aoft_sim::NodeMetrics;
+use parking_lot::Mutex;
+
+/// Accumulates across the service's lifetime; `snapshot` freezes a
+/// consistent view.
+#[derive(Default)]
+pub(crate) struct MetricsSink {
+    state: Mutex<MetricsState>,
+}
+
+#[derive(Default)]
+struct MetricsState {
+    submitted: u64,
+    rejected: u64,
+    completed: u64,
+    failed: u64,
+    retries: u64,
+    recovered_jobs: u64,
+    latencies: Vec<Duration>,
+    sim: NodeMetrics,
+}
+
+impl MetricsSink {
+    pub fn job_submitted(&self) {
+        self.state.lock().submitted += 1;
+    }
+
+    pub fn job_rejected(&self) {
+        self.state.lock().rejected += 1;
+    }
+
+    pub fn job_completed(&self, latency: Duration, retries: u64, sim: &NodeMetrics) {
+        let mut state = self.state.lock();
+        state.completed += 1;
+        state.retries += retries;
+        if retries > 0 {
+            state.recovered_jobs += 1;
+        }
+        state.latencies.push(latency);
+        state.sim.merge(sim);
+    }
+
+    pub fn job_failed(&self, retries: u64) {
+        let mut state = self.state.lock();
+        state.failed += 1;
+        state.retries += retries;
+    }
+
+    pub fn snapshot(&self, queue_depth: usize, quarantined: Vec<u32>) -> SvcMetrics {
+        let state = self.state.lock();
+        let mut sorted = state.latencies.clone();
+        sorted.sort_unstable();
+        SvcMetrics {
+            jobs_submitted: state.submitted,
+            jobs_rejected: state.rejected,
+            jobs_completed: state.completed,
+            jobs_failed: state.failed,
+            retries: state.retries,
+            recovered_jobs: state.recovered_jobs,
+            queue_depth,
+            quarantined,
+            latency_p50: percentile(&sorted, 50),
+            latency_p90: percentile(&sorted, 90),
+            latency_p99: percentile(&sorted, 99),
+            sim: state.sim,
+        }
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[Duration], pct: u32) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = (sorted.len() as u64 * pct as u64).div_ceil(100).max(1) as usize;
+    sorted[rank - 1]
+}
+
+/// A point-in-time view of the service's health and throughput.
+#[derive(Debug, Clone)]
+pub struct SvcMetrics {
+    /// Jobs admitted past the queue bound.
+    pub jobs_submitted: u64,
+    /// Jobs refused with backpressure or as unservable.
+    pub jobs_rejected: u64,
+    /// Jobs answered with a verified sorted result.
+    pub jobs_completed: u64,
+    /// Jobs that failed loudly (attempt budget or cube exhausted).
+    pub jobs_failed: u64,
+    /// Extra attempts consumed beyond each job's first (recovery work).
+    pub retries: u64,
+    /// Completed jobs that needed at least one retry.
+    pub recovered_jobs: u64,
+    /// Jobs waiting in the queue at snapshot time.
+    pub queue_depth: usize,
+    /// Physical node labels currently quarantined service-wide.
+    pub quarantined: Vec<u32>,
+    /// Median submit→completion latency over completed jobs.
+    pub latency_p50: Duration,
+    /// 90th-percentile latency.
+    pub latency_p90: Duration,
+    /// 99th-percentile latency.
+    pub latency_p99: Duration,
+    /// Simulator counters merged over every successful attempt.
+    pub sim: NodeMetrics,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let ms = |n: u64| Duration::from_millis(n);
+        let sorted: Vec<Duration> = (1..=100).map(ms).collect();
+        assert_eq!(percentile(&sorted, 50), ms(50));
+        assert_eq!(percentile(&sorted, 99), ms(99));
+        assert_eq!(percentile(&[ms(7)], 50), ms(7));
+        assert_eq!(percentile(&[], 99), Duration::ZERO);
+    }
+
+    #[test]
+    fn counters_roll_up() {
+        let sink = MetricsSink::default();
+        sink.job_submitted();
+        sink.job_submitted();
+        sink.job_rejected();
+        let sim = NodeMetrics {
+            msgs_sent: 3,
+            ..NodeMetrics::default()
+        };
+        sink.job_completed(Duration::from_millis(5), 2, &sim);
+        sink.job_failed(1);
+        let snap = sink.snapshot(4, vec![5]);
+        assert_eq!(snap.jobs_submitted, 2);
+        assert_eq!(snap.jobs_rejected, 1);
+        assert_eq!(snap.jobs_completed, 1);
+        assert_eq!(snap.jobs_failed, 1);
+        assert_eq!(snap.retries, 3);
+        assert_eq!(snap.recovered_jobs, 1);
+        assert_eq!(snap.queue_depth, 4);
+        assert_eq!(snap.quarantined, vec![5]);
+        assert_eq!(snap.latency_p50, Duration::from_millis(5));
+        assert_eq!(snap.sim.msgs_sent, 3);
+    }
+}

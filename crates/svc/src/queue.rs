@@ -1,0 +1,159 @@
+//! The bounded job queue behind admission control.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use crossbeam_channel::Sender;
+use parking_lot::{Condvar, Mutex};
+
+use crate::job::{JobError, JobId, JobReport, JobSpec};
+
+/// A job admitted into the queue, with everything a worker needs to run and
+/// answer it.
+pub(crate) struct QueuedJob {
+    pub id: JobId,
+    pub spec: JobSpec,
+    pub submitted_at: Instant,
+    pub reply: Sender<Result<JobReport, JobError>>,
+}
+
+struct QueueState {
+    jobs: VecDeque<QueuedJob>,
+    stopped: bool,
+}
+
+/// Bounded MPMC queue: submitters never block (full → rejected at the
+/// admission layer above), workers block until a job or shutdown arrives.
+pub(crate) struct JobQueue {
+    depth: usize,
+    state: Mutex<QueueState>,
+    available: Condvar,
+}
+
+impl JobQueue {
+    pub fn new(depth: usize) -> Self {
+        Self {
+            depth,
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                stopped: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Admits `job`, or hands it back when the queue is at depth or the
+    /// service has stopped (the caller turns either into the right
+    /// [`SubmitError`](crate::SubmitError)).
+    pub fn push(&self, job: QueuedJob) -> Result<(), PushRefused> {
+        let mut state = self.state.lock();
+        if state.stopped {
+            return Err(PushRefused::Stopped);
+        }
+        if state.jobs.len() >= self.depth {
+            return Err(PushRefused::Full);
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available; `None` once the queue is stopped
+    /// *and* drained.
+    pub fn pop(&self) -> Option<QueuedJob> {
+        let mut state = self.state.lock();
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.stopped {
+                return None;
+            }
+            self.available.wait(&mut state);
+        }
+    }
+
+    /// Jobs currently waiting (excludes jobs already claimed by workers).
+    pub fn len(&self) -> usize {
+        self.state.lock().jobs.len()
+    }
+
+    /// Stops the queue: subsequent pushes are refused, blocked workers wake
+    /// up, and queued-but-unclaimed jobs are returned for disposal (their
+    /// reply channels answer `Stopped`).
+    pub fn stop(&self) -> Vec<QueuedJob> {
+        let mut state = self.state.lock();
+        state.stopped = true;
+        let drained = state.jobs.drain(..).collect();
+        drop(state);
+        self.available.notify_all();
+        drained
+    }
+}
+
+/// Why [`JobQueue::push`] refused (the dropped job's reply channel closes,
+/// which its handle reads as `Stopped`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PushRefused {
+    Full,
+    Stopped,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam_channel::unbounded;
+
+    fn job(id: u64) -> QueuedJob {
+        let (reply, _rx) = unbounded();
+        QueuedJob {
+            id: JobId(id),
+            spec: JobSpec::new(vec![1]),
+            submitted_at: Instant::now(),
+            reply,
+        }
+    }
+
+    #[test]
+    fn fifo_until_full() {
+        let queue = JobQueue::new(2);
+        queue.push(job(1)).ok().unwrap();
+        queue.push(job(2)).ok().unwrap();
+        assert_eq!(queue.push(job(3)).err(), Some(PushRefused::Full));
+        assert_eq!(queue.len(), 2);
+        assert_eq!(queue.pop().unwrap().id, JobId(1));
+        assert_eq!(queue.pop().unwrap().id, JobId(2));
+    }
+
+    #[test]
+    fn stop_wakes_blocked_workers_and_drains() {
+        let queue = JobQueue::new(4);
+        queue.push(job(1)).ok().unwrap();
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| {
+                // First pop gets the queued job; second blocks until stop.
+                let first = queue.pop();
+                let second = queue.pop();
+                (first, second)
+            });
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            let drained = queue.stop();
+            assert!(drained.is_empty(), "worker claimed the job first");
+            let (first, second) = waiter.join().unwrap();
+            assert_eq!(first.unwrap().id, JobId(1));
+            assert!(second.is_none());
+        });
+        assert_eq!(queue.push(job(9)).err(), Some(PushRefused::Stopped));
+    }
+
+    #[test]
+    fn stop_returns_unclaimed_jobs() {
+        let queue = JobQueue::new(4);
+        queue.push(job(1)).ok().unwrap();
+        queue.push(job(2)).ok().unwrap();
+        let drained = queue.stop();
+        assert_eq!(drained.len(), 2);
+        assert!(queue.pop().is_none());
+    }
+}

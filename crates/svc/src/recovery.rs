@@ -1,0 +1,262 @@
+//! Diagnosis-driven recovery bookkeeping: strikes, quarantine, and degraded
+//! cube planning.
+//!
+//! The service keeps the paper's fail-stop loop alive across jobs: every
+//! fail-stopped attempt is fed to the diagnosis layer, implicated *physical*
+//! nodes accumulate strikes, and repeat offenders are quarantined
+//! service-wide. Retries run on the largest subcube of surviving nodes —
+//! degraded mode — until the cube shrinks below the configured minimum.
+
+use std::collections::{BTreeSet, HashMap};
+
+use aoft_sim::ErrorReport;
+use aoft_sort::diagnosis::diagnose;
+use aoft_sort::Violation;
+use parking_lot::Mutex;
+
+/// Where an attempt runs: a logical `2^dim` cube mapped onto physical labels.
+#[derive(Debug, Clone)]
+pub(crate) struct CubePlan {
+    /// Logical cube dimension of the attempt.
+    pub dim: u32,
+    /// `map[logical] = physical` for each of the `2^dim` logical labels.
+    pub map: Vec<u32>,
+}
+
+/// What [`Recovery::record_failure`] learned from one fail-stopped attempt.
+pub(crate) struct FailureVerdict {
+    /// Physical labels implicated by diagnosis (the job avoids these on its
+    /// own retries even when the evidence is too weak to strike).
+    pub suspects: Vec<u32>,
+    /// Physical labels whose strike count just crossed the quarantine
+    /// threshold (the service should purge their cached links).
+    pub newly_quarantined: Vec<u32>,
+}
+
+struct RecoveryState {
+    strikes: HashMap<u32, u32>,
+    quarantined: BTreeSet<u32>,
+}
+
+/// Service-wide fault memory shared by all workers.
+pub(crate) struct Recovery {
+    dim: u32,
+    min_dim: u32,
+    quarantine_after: u32,
+    state: Mutex<RecoveryState>,
+}
+
+impl Recovery {
+    pub fn new(dim: u32, min_dim: u32, quarantine_after: u32) -> Self {
+        Self {
+            dim,
+            min_dim,
+            quarantine_after,
+            state: Mutex::new(RecoveryState {
+                strikes: HashMap::new(),
+                quarantined: BTreeSet::new(),
+            }),
+        }
+    }
+
+    /// Plans the largest cube that avoids both the service quarantine and
+    /// the job's own `avoid` set; `Err(healthy)` when fewer than
+    /// `2^min_dim` nodes remain.
+    pub fn plan(&self, avoid: &BTreeSet<u32>) -> Result<CubePlan, usize> {
+        let state = self.state.lock();
+        let healthy: Vec<u32> = (0..1u32 << self.dim)
+            .filter(|label| !state.quarantined.contains(label) && !avoid.contains(label))
+            .collect();
+        drop(state);
+        let dim = (usize::BITS - 1)
+            .checked_sub(healthy.len().leading_zeros())
+            .map(|d| d.min(self.dim))
+            .unwrap_or(0);
+        if dim < self.min_dim {
+            return Err(healthy.len());
+        }
+        let map = healthy[..1 << dim].to_vec();
+        Ok(CubePlan { dim, map })
+    }
+
+    /// Digests a fail-stopped attempt: diagnoses the reports on the
+    /// attempt's logical cube, translates the implicated nodes to physical
+    /// labels, and applies strikes.
+    ///
+    /// Two evidence classes feed the strike set. Every *missing-message*
+    /// accusation strikes *both* endpoints of the dead link — Definition 3
+    /// case 2a: the blame cannot be attributed to either endpoint alone,
+    /// and the detector itself may be the faulty party (a node whose sends
+    /// are silently dropped ends up accusing its own starved partner).
+    /// Value-predicate accusations (Φ_P/Φ_F/Φ_C) implicate only the named
+    /// suspect, never the detector: receiver-side detection of bad *content*
+    /// is evidence the detector works — a Byzantine sender can make many
+    /// healthy receivers fire at once, and striking them all would evict
+    /// the whole cube. When the reports are additionally mutually
+    /// consistent *and* their intersection localizes to link granularity
+    /// (at most two nodes), the intersection is struck too. Coarser
+    /// consistent regions — a home subcube, or the whole machine for a
+    /// late-stage predicate — are detection without localization: striking
+    /// them would quarantine healthy hardware wholesale, so they are left
+    /// to the retry (and, for persistent faults, to the sharper dead-link
+    /// evidence repeat failures produce). The broad union of an
+    /// inconsistent report set is never struck for the same reason.
+    pub fn record_failure(&self, reports: &[ErrorReport], plan: &CubePlan) -> FailureVerdict {
+        if reports.is_empty() {
+            return FailureVerdict {
+                suspects: Vec::new(),
+                newly_quarantined: Vec::new(),
+            };
+        }
+        let dead_link = Violation::MessageLost {
+            from: aoft_hypercube::NodeId::new(0),
+        }
+        .code();
+        let diagnosis = diagnose(reports, plan.dim);
+        let mut logical: BTreeSet<usize> = BTreeSet::new();
+        for report in reports {
+            if let Some(suspect) = report.suspect {
+                logical.insert(suspect.index());
+                if report.code == dead_link {
+                    logical.insert(report.detector.index());
+                }
+            }
+        }
+        if diagnosis.is_consistent() && diagnosis.suspects().len() <= 2 {
+            logical.extend(diagnosis.suspects().iter().map(|node| node.index()));
+        }
+        let suspects: Vec<u32> = logical
+            .into_iter()
+            .filter_map(|index| plan.map.get(index).copied())
+            .collect();
+        let mut newly_quarantined = Vec::new();
+        let mut state = self.state.lock();
+        for &label in &suspects {
+            if state.quarantined.contains(&label) {
+                continue;
+            }
+            let strikes = state.strikes.entry(label).or_insert(0);
+            *strikes += 1;
+            if *strikes >= self.quarantine_after {
+                state.quarantined.insert(label);
+                newly_quarantined.push(label);
+            }
+        }
+        FailureVerdict {
+            suspects,
+            newly_quarantined,
+        }
+    }
+
+    /// Physical labels currently quarantined, ascending.
+    pub fn quarantined(&self) -> Vec<u32> {
+        self.state.lock().quarantined.iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aoft_hypercube::NodeId;
+    use aoft_sim::Ticks;
+
+    fn missing_message(detector: u32, suspect: u32) -> ErrorReport {
+        ErrorReport {
+            detector: NodeId::new(detector),
+            at: Ticks::ZERO,
+            code: Violation::MessageLost {
+                from: NodeId::new(suspect),
+            }
+            .code(),
+            stage: Some(0),
+            suspect: Some(NodeId::new(suspect)),
+            detail: String::new(),
+        }
+    }
+
+    fn bad_value(detector: u32, suspect: u32) -> ErrorReport {
+        ErrorReport {
+            detector: NodeId::new(detector),
+            at: Ticks::ZERO,
+            code: Violation::Inconsistent {
+                stage: 0,
+                step: 0,
+                entry: NodeId::new(suspect),
+            }
+            .code(),
+            stage: Some(0),
+            suspect: Some(NodeId::new(suspect)),
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn full_cube_plan_is_identity() {
+        let recovery = Recovery::new(3, 1, 2);
+        let plan = recovery.plan(&BTreeSet::new()).unwrap();
+        assert_eq!(plan.dim, 3);
+        assert_eq!(plan.map, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn avoid_set_degrades_the_cube() {
+        let recovery = Recovery::new(3, 1, 2);
+        let avoid: BTreeSet<u32> = [5].into();
+        let plan = recovery.plan(&avoid).unwrap();
+        assert_eq!(plan.dim, 2, "7 healthy nodes hold a 4-node cube");
+        assert_eq!(plan.map, vec![0, 1, 2, 3]);
+        // Avoiding a low label shifts the map past it.
+        let avoid: BTreeSet<u32> = [0, 2].into();
+        let plan = recovery.plan(&avoid).unwrap();
+        assert_eq!(plan.map, vec![1, 3, 4, 5]);
+    }
+
+    #[test]
+    fn repeat_strikes_quarantine_and_exhaust() {
+        let recovery = Recovery::new(3, 3, 2);
+        let plan = recovery.plan(&BTreeSet::new()).unwrap();
+        // Corroborated accusations: {1,3} ∩ {2,3} = {3}; both detectors are
+        // link endpoints too, so the strike set is {1, 2, 3}.
+        let reports = [missing_message(1, 3), missing_message(2, 3)];
+        let first = recovery.record_failure(&reports, &plan);
+        assert_eq!(first.suspects, vec![1, 2, 3]);
+        assert!(
+            first.newly_quarantined.is_empty(),
+            "one strike is not enough"
+        );
+        let second = recovery.record_failure(&reports, &plan);
+        assert_eq!(second.newly_quarantined, vec![1, 2, 3]);
+        assert_eq!(recovery.quarantined(), vec![1, 2, 3]);
+        // 5 healthy nodes cannot hold the 2^3 minimum cube.
+        assert!(matches!(recovery.plan(&BTreeSet::new()), Err(5)));
+    }
+
+    #[test]
+    fn value_accusations_spare_the_detectors() {
+        // Three healthy receivers catch one Byzantine sender's inconsistent
+        // values. Only the sender is struck — striking the detectors too
+        // would let one faulty node evict the cube.
+        let recovery = Recovery::new(3, 1, 1);
+        let plan = recovery.plan(&BTreeSet::new()).unwrap();
+        let reports = [bad_value(1, 5), bad_value(4, 5), bad_value(7, 5)];
+        let verdict = recovery.record_failure(&reports, &plan);
+        assert_eq!(verdict.suspects, vec![5]);
+        assert_eq!(recovery.quarantined(), vec![5]);
+    }
+
+    #[test]
+    fn suspects_translate_through_the_map() {
+        let recovery = Recovery::new(3, 1, 1);
+        // Degraded 4-node cube on physical labels {1, 3, 4, 5}.
+        let plan = CubePlan {
+            dim: 2,
+            map: vec![1, 3, 4, 5],
+        };
+        // Logical node 2 is physical label 4.
+        let reports = [missing_message(0, 2), missing_message(3, 2)];
+        let verdict = recovery.record_failure(&reports, &plan);
+        assert!(verdict.suspects.contains(&4));
+        assert_eq!(recovery.quarantined(), verdict.newly_quarantined);
+        assert!(recovery.quarantined().contains(&4));
+    }
+}

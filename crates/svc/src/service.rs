@@ -1,0 +1,511 @@
+//! The resident sort service: worker pool, scheduler, and recovery loop.
+
+use std::any::Any;
+use std::collections::BTreeSet;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use aoft_net::{Backoff, LinkCache, MappedTransport, Transport};
+use aoft_sim::{ErrorReport, NodeMetrics, Packet};
+use aoft_sort::{Msg, SortBuilder, SortError};
+
+use crate::config::{ConfigError, SvcConfig};
+use crate::job::{JobError, JobHandle, JobId, JobReport, JobSpec, SubmitError};
+use crate::metrics::{MetricsSink, SvcMetrics};
+use crate::queue::{JobQueue, PushRefused, QueuedJob};
+use crate::recovery::{CubePlan, Recovery};
+
+/// A resident sorting service over a shared transport.
+///
+/// The service keeps a pool of worker threads alive over one transport `T`
+/// (in-process channels, loopback TCP, a faulty wrapper — anything
+/// implementing [`Transport`]) and serves a stream of sort jobs:
+///
+/// * [`submit`](SortService::submit) admits jobs into a bounded queue and
+///   rejects with [`SubmitError::Backpressure`] past the configured depth —
+///   callers see load instead of the service buffering without bound;
+/// * each worker slot owns a private link-tag namespace, so concurrent jobs
+///   multiplex the same physical cube without crosstalk, and every attempt
+///   runs under a fresh run id so late frames from a fail-stopped attempt
+///   are dropped, not mistaken for the retry's traffic;
+/// * when an attempt fail-stops, the reports are fed to the diagnosis layer:
+///   implicated nodes are avoided for the job's remaining attempts, repeat
+///   offenders are quarantined service-wide, and the retry runs on the
+///   largest surviving subcube (degraded mode) until
+///   [`SvcConfig::min_dim`] is reached.
+///
+/// Per the paper's fail-stop discipline the service never returns an
+/// unverified result: a job either completes with a verified sorted output
+/// or fails loudly with [`JobError`].
+pub struct SortService<T>
+where
+    T: Transport<Packet<Msg>> + Send + Sync + 'static,
+{
+    inner: Arc<Inner<T>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+struct Inner<T>
+where
+    T: Transport<Packet<Msg>> + Send + Sync + 'static,
+{
+    config: SvcConfig,
+    cache: Arc<LinkCache<T>>,
+    queue: JobQueue,
+    metrics: MetricsSink,
+    recovery: Recovery,
+    /// Job ids handed to clients.
+    next_job: AtomicU64,
+    /// Run ids stamped on packets: unique per (job, attempt) service-wide,
+    /// so receivers can discard stale frames from any earlier attempt that
+    /// shared the same cached links.
+    next_run: AtomicU64,
+}
+
+impl<T> SortService<T>
+where
+    T: Transport<Packet<Msg>> + Send + Sync + 'static,
+{
+    /// Validates `config`, wraps `transport` in the service's link cache,
+    /// and spawns the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] when the configuration cannot serve any job.
+    pub fn start(config: SvcConfig, transport: T) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let inner = Arc::new(Inner {
+            cache: Arc::new(LinkCache::new(transport)),
+            queue: JobQueue::new(config.queue_depth),
+            metrics: MetricsSink::default(),
+            recovery: Recovery::new(config.dim, config.min_dim, config.quarantine_after),
+            next_job: AtomicU64::new(0),
+            next_run: AtomicU64::new(0),
+            config,
+        });
+        let workers = (0..inner.config.workers)
+            .map(|slot| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("aoft-svc-{slot}"))
+                    .spawn(move || worker_loop(inner, slot))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Ok(Self { inner, workers })
+    }
+
+    /// Submits a job for asynchronous completion.
+    ///
+    /// # Errors
+    ///
+    /// * [`SubmitError::Backpressure`] — the queue is at depth; resubmit
+    ///   later.
+    /// * [`SubmitError::Invalid`] — the key count can never divide over
+    ///   this service's cube (checked against the *full* cube; any degraded
+    ///   subcube is a smaller power of two and divides too).
+    /// * [`SubmitError::Stopped`] — the service has shut down.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+        let nodes = 1usize << self.inner.config.dim;
+        if spec.keys.is_empty() {
+            self.inner.metrics.job_rejected();
+            return Err(SubmitError::Invalid("no keys to sort".into()));
+        }
+        if spec.keys.len() % nodes != 0 {
+            self.inner.metrics.job_rejected();
+            return Err(SubmitError::Invalid(format!(
+                "{} keys do not divide over the service's {nodes}-node cube",
+                spec.keys.len()
+            )));
+        }
+        let id = JobId(self.inner.next_job.fetch_add(1, Ordering::Relaxed) + 1);
+        let (reply, rx) = crossbeam_channel::unbounded();
+        let job = QueuedJob {
+            id,
+            spec,
+            submitted_at: Instant::now(),
+            reply,
+        };
+        match self.inner.queue.push(job) {
+            Ok(()) => {
+                self.inner.metrics.job_submitted();
+                Ok(JobHandle { id, reply: rx })
+            }
+            Err(PushRefused::Full) => {
+                self.inner.metrics.job_rejected();
+                Err(SubmitError::Backpressure {
+                    depth: self.inner.config.queue_depth,
+                })
+            }
+            Err(PushRefused::Stopped) => Err(SubmitError::Stopped),
+        }
+    }
+
+    /// A point-in-time metrics snapshot.
+    pub fn metrics(&self) -> SvcMetrics {
+        self.inner
+            .metrics
+            .snapshot(self.inner.queue.len(), self.inner.recovery.quarantined())
+    }
+
+    /// Physical node labels currently quarantined, ascending.
+    pub fn quarantined(&self) -> Vec<u32> {
+        self.inner.recovery.quarantined()
+    }
+
+    /// The running configuration.
+    pub fn config(&self) -> &SvcConfig {
+        &self.inner.config
+    }
+
+    /// Stops admissions, answers queued-but-unstarted jobs with
+    /// [`JobError::Stopped`], and joins the workers (in-flight jobs run to
+    /// completion first). Dropping the service does the same.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        for job in self.inner.queue.stop() {
+            let _ = job.reply.send(Err(JobError::Stopped));
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl<T> Drop for SortService<T>
+where
+    T: Transport<Packet<Msg>> + Send + Sync + 'static,
+{
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn worker_loop<T>(inner: Arc<Inner<T>>, slot: usize)
+where
+    T: Transport<Packet<Msg>> + Send + Sync + 'static,
+{
+    while let Some(job) = inner.queue.pop() {
+        let result = run_job(&inner, slot, &job);
+        match &result {
+            Ok(report) => inner.metrics.job_completed(
+                report.latency,
+                (report.attempts - 1) as u64,
+                &report.metrics,
+            ),
+            Err(_) => inner
+                .metrics
+                .job_failed(inner.config.max_attempts.saturating_sub(1) as u64),
+        }
+        let _ = job.reply.send(result);
+    }
+}
+
+/// One job's attempt loop: plan cube → run → on fail-stop diagnose, strike,
+/// back off, retry degraded.
+fn run_job<T>(inner: &Inner<T>, slot: usize, job: &QueuedJob) -> Result<JobReport, JobError>
+where
+    T: Transport<Packet<Msg>> + Send + Sync + 'static,
+{
+    let config = &inner.config;
+    // Each worker slot owns `dim` consecutive link tags (validated ≤ 256 at
+    // start), so concurrent jobs never share a physical link.
+    let tag_base = (slot as u32 * config.dim) as u8;
+    let mut avoid: BTreeSet<u32> = BTreeSet::new();
+    let mut detections: Vec<Vec<ErrorReport>> = Vec::new();
+    let mut backoff = Backoff::new(config.backoff_initial, config.backoff_max);
+
+    for attempt in 0..config.max_attempts {
+        if attempt > 0 {
+            let delay = backoff.next_delay();
+            if delay > Duration::ZERO {
+                std::thread::sleep(delay);
+            }
+        }
+        let plan = inner
+            .recovery
+            .plan(&avoid)
+            .map_err(|healthy| JobError::CubeExhausted {
+                healthy,
+                min_dim: config.min_dim,
+            })?;
+        let nodes = 1usize << plan.dim;
+        if job.spec.keys.len() % nodes != 0 {
+            // Unreachable after the submit-side check (degraded cubes are
+            // smaller powers of two), kept as defense in depth.
+            return Err(JobError::Invalid(format!(
+                "{} keys do not divide over the degraded {nodes}-node cube",
+                job.spec.keys.len()
+            )));
+        }
+        let run_id = inner.next_run.fetch_add(1, Ordering::Relaxed) + 1;
+        let transport = MappedTransport::new(Arc::clone(&inner.cache), plan.map.clone())
+            .with_tag_base(tag_base);
+        let mut builder = SortBuilder::new(config.algorithm)
+            .keys(job.spec.keys.clone())
+            .direction(job.spec.direction)
+            .nodes(nodes)
+            .recv_timeout(config.recv_timeout)
+            .job(run_id);
+        if attempt == 0 {
+            // Injected model faults are transient: they hit the first
+            // attempt only (see `JobSpec::fault_plan`).
+            if let Some(plan) = &job.spec.fault_plan {
+                builder = builder.fault_plan(plan.clone());
+            }
+        }
+        match std::panic::catch_unwind(AssertUnwindSafe(|| builder.run_on(transport))) {
+            Ok(Ok(report)) => {
+                let mut merged = NodeMetrics::default();
+                for node in &report.metrics().nodes {
+                    merged.merge(node);
+                }
+                merged.merge(&report.metrics().host);
+                return Ok(JobReport {
+                    id: job.id,
+                    output: report.output().to_vec(),
+                    attempts: attempt + 1,
+                    dim: plan.dim,
+                    detections,
+                    latency: job.submitted_at.elapsed(),
+                    metrics: merged,
+                });
+            }
+            Ok(Err(SortError::Detected { reports })) => {
+                digest_failure(inner, &reports, &plan, &mut avoid);
+                detections.push(reports);
+            }
+            Ok(Err(err)) => return Err(JobError::Invalid(err.to_string())),
+            Err(payload) => return Err(JobError::Runtime(panic_message(payload))),
+        }
+    }
+    Err(JobError::Exhausted {
+        attempts: config.max_attempts,
+        detections,
+    })
+}
+
+/// Feeds one fail-stopped attempt to the service's fault memory: the job
+/// avoids every implicated node on its own retries; nodes striking out
+/// service-wide are quarantined and their cached links purged so no later
+/// job dials them.
+fn digest_failure<T>(
+    inner: &Inner<T>,
+    reports: &[ErrorReport],
+    plan: &CubePlan,
+    avoid: &mut BTreeSet<u32>,
+) where
+    T: Transport<Packet<Msg>> + Send + Sync + 'static,
+{
+    let verdict = inner.recovery.record_failure(reports, plan);
+    avoid.extend(verdict.suspects.iter().copied());
+    for label in verdict.newly_quarantined {
+        inner.cache.purge_node(label);
+    }
+}
+
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(msg) = payload.downcast_ref::<&str>() {
+        (*msg).to_string()
+    } else if let Some(msg) = payload.downcast_ref::<String>() {
+        msg.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aoft_faults::{FaultyTransport, LinkFault};
+    use aoft_net::InProc;
+    use aoft_sort::Algorithm;
+
+    fn keys(n: usize, salt: i32) -> Vec<i32> {
+        (0..n as i32).map(|i| (i * 37 + salt) % 101 - 50).collect()
+    }
+
+    fn sorted(mut v: Vec<i32>) -> Vec<i32> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn serves_a_stream_of_jobs_in_process() {
+        let service =
+            SortService::start(SvcConfig::new(3).workers(2), InProc::new()).expect("start");
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let input = keys(16, i);
+                let handle = service.submit(JobSpec::new(input.clone())).expect("admit");
+                (input, handle)
+            })
+            .collect();
+        for (input, handle) in handles {
+            let report = handle.wait().expect("job completes");
+            assert_eq!(report.output, sorted(input));
+            assert_eq!(report.attempts, 1);
+            assert_eq!(report.dim, 3);
+        }
+        let snap = service.metrics();
+        assert_eq!(snap.jobs_completed, 8);
+        assert_eq!(snap.jobs_failed, 0);
+        assert_eq!(snap.retries, 0);
+        assert!(snap.latency_p50 > Duration::ZERO);
+        assert!(snap.quarantined.is_empty());
+    }
+
+    #[test]
+    fn rejects_unservable_and_overflow_submissions() {
+        let service =
+            SortService::start(SvcConfig::new(2).queue_depth(1).workers(1), InProc::new())
+                .expect("start");
+        assert!(matches!(
+            service.submit(JobSpec::new(vec![])),
+            Err(SubmitError::Invalid(_))
+        ));
+        assert!(matches!(
+            service.submit(JobSpec::new(vec![1, 2, 3])),
+            Err(SubmitError::Invalid(_))
+        ));
+        // Saturate: the worker claims one job, the queue holds one more;
+        // keep submitting until the bound trips.
+        let mut admitted = Vec::new();
+        let mut saw_backpressure = false;
+        for i in 0..64 {
+            match service.submit(JobSpec::new(keys(64, i))) {
+                Ok(handle) => admitted.push(handle),
+                Err(SubmitError::Backpressure { depth }) => {
+                    assert_eq!(depth, 1);
+                    saw_backpressure = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected rejection: {other}"),
+            }
+        }
+        assert!(saw_backpressure, "64 instant submits must outrun 1 worker");
+        for handle in admitted {
+            handle.wait().expect("admitted jobs still complete");
+        }
+        assert!(service.metrics().jobs_rejected >= 3);
+    }
+
+    #[test]
+    fn recovers_from_a_crashed_node_and_quarantines_it() {
+        // Node 5 is fail-silent from its very first send. Every node
+        // downstream of the dead links stalls within one stage, and the
+        // starved recv deadlines land microseconds apart — which stalled
+        // node reports first is scheduler roulette, so the diagnosis
+        // implicates *some* dead link on the stalled wavefront, not
+        // necessarily one incident to node 5 (attribution determinism for
+        // synthetic reports lives in the recovery module's tests). The
+        // service-level guarantee is what this test pins down: the job
+        // fail-stops instead of lying, the implicated pair is quarantined,
+        // and the retry completes correctly on a degraded cube.
+        let faulty = FaultyTransport::new(InProc::new(), 0xdead).fault_sender(
+            5,
+            LinkFault {
+                kill_after: Some(0),
+                ..LinkFault::default()
+            },
+        );
+        let config = SvcConfig::new(3)
+            .max_attempts(4)
+            .quarantine_after(1)
+            .backoff(Duration::ZERO, Duration::ZERO)
+            .recv_timeout(Duration::from_millis(300));
+        let service = SortService::start(config, faulty).expect("start");
+
+        let input = keys(32, 7);
+        let report = service
+            .submit(JobSpec::new(input.clone()))
+            .expect("admit")
+            .wait()
+            .expect("job recovers");
+        assert_eq!(report.output, sorted(input), "never silently wrong");
+        assert!(report.recovered(), "first attempt must fail-stop");
+        assert!(report.dim < 3, "retry runs degraded");
+        let quarantined = service.quarantined();
+        assert!(
+            !quarantined.is_empty(),
+            "the fail-stop must quarantine the implicated link endpoints"
+        );
+        assert!(
+            quarantined.iter().all(|&n| n < 8),
+            "quarantine holds physical cube labels, got {quarantined:?}"
+        );
+
+        // Follow-up jobs avoid the quarantined node from the start.
+        let input = keys(32, 11);
+        let report = service
+            .submit(JobSpec::new(input.clone()))
+            .expect("admit")
+            .wait()
+            .expect("follow-up completes");
+        assert_eq!(report.output, sorted(input));
+        assert_eq!(report.attempts, 1, "no re-detection once quarantined");
+
+        let snap = service.metrics();
+        assert_eq!(snap.jobs_completed, 2);
+        assert!(snap.retries >= 1);
+        assert_eq!(snap.recovered_jobs, 1);
+    }
+
+    #[test]
+    fn cube_exhaustion_fails_loudly() {
+        // Every node's links die immediately; min_dim 2 leaves no fallback.
+        let mut faulty = FaultyTransport::new(InProc::new(), 1);
+        for node in 0..4 {
+            faulty = faulty.fault_sender(
+                node,
+                LinkFault {
+                    kill_after: Some(0),
+                    ..LinkFault::default()
+                },
+            );
+        }
+        let config = SvcConfig::new(2)
+            .min_dim(2)
+            .max_attempts(3)
+            .quarantine_after(1)
+            .backoff(Duration::ZERO, Duration::ZERO)
+            .recv_timeout(Duration::from_millis(200));
+        let service = SortService::start(config, faulty).expect("start");
+        let err = service
+            .submit(JobSpec::new(keys(8, 3)))
+            .expect("admit")
+            .wait()
+            .expect_err("no healthy cube can remain");
+        assert!(
+            matches!(
+                err,
+                JobError::CubeExhausted { .. } | JobError::Exhausted { .. }
+            ),
+            "loud failure, got {err}"
+        );
+        assert_eq!(service.metrics().jobs_failed, 1);
+    }
+
+    #[test]
+    fn shutdown_answers_queued_jobs_with_stopped() {
+        let service = SortService::start(
+            SvcConfig::new(4).algorithm(Algorithm::HostSequential),
+            InProc::new(),
+        )
+        .expect("start");
+        let handle = service.submit(JobSpec::new(keys(16, 0))).expect("admit");
+        // The job may or may not start before shutdown; either way the
+        // handle resolves — to a report or to Stopped, never a hang.
+        service.shutdown();
+        match handle.wait() {
+            Ok(report) => assert_eq!(report.output, sorted(keys(16, 0))),
+            Err(err) => assert_eq!(err, JobError::Stopped),
+        }
+    }
+}

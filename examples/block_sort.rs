@@ -6,7 +6,10 @@
 //! cargo run --example block_sort
 //! ```
 
+mod common;
+
 use aoft::sort::{Algorithm, SortBuilder};
+use common::{demo_keys, sorted};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let nodes = 16usize;
@@ -17,11 +20,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     for m in [1usize, 4, 16, 64, 256] {
-        let keys: Vec<i32> = (0..(nodes * m) as i64)
-            .map(|x| ((x * 2654435761_i64) % 100_000 - 50_000) as i32)
-            .collect();
-        let mut expected = keys.clone();
-        expected.sort_unstable();
+        let keys = demo_keys(nodes * m, 3);
+        let expected = sorted(&keys);
 
         let sft = SortBuilder::new(Algorithm::FaultTolerant)
             .keys(keys.clone())

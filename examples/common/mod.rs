@@ -1,0 +1,53 @@
+//! Shared bring-up helpers for the examples.
+//!
+//! Each example is its own crate rooted at `examples/<name>.rs`; they all
+//! `mod common;` this file instead of repeating the cube bring-up
+//! boilerplate (deterministic demo keys, loopback TCP clusters, the
+//! standard `S_FT` builder).
+
+// Every example uses a subset of these helpers; the rest would otherwise
+// trip dead-code warnings per example crate.
+#![allow(dead_code)]
+
+use std::time::Duration;
+
+use aoft::sim::{TcpConfig, TcpTransport};
+use aoft::sort::{Algorithm, Key, SortBuilder};
+
+/// Deterministic, scattered demo keys: a multiplicative hash over `0..n`,
+/// folded into `-500..500`. `salt` varies the sequence between runs that
+/// should not share data.
+pub fn demo_keys(n: usize, salt: i64) -> Vec<Key> {
+    (0..n as i64)
+        .map(|x| (((x + salt).wrapping_mul(2_654_435_761) % 1000) - 500) as Key)
+        .collect()
+}
+
+/// The expected output: `keys`, ascending.
+pub fn sorted(keys: &[Key]) -> Vec<Key> {
+    let mut expected = keys.to_vec();
+    expected.sort_unstable();
+    expected
+}
+
+/// Binds a fresh loopback TCP transport and maps all `nodes` labels to its
+/// own listener — a whole cube in one process, every compare-exchange
+/// crossing a real socket. In the multi-process case each label's
+/// `set_peer` would point at a different machine instead.
+pub fn loopback_cluster(nodes: u32) -> Result<TcpTransport, Box<dyn std::error::Error>> {
+    let transport = TcpTransport::bind(TcpConfig::default())?;
+    let addr = transport.local_addr();
+    for label in 0..nodes {
+        transport.set_peer(label, addr);
+    }
+    Ok(transport)
+}
+
+/// The standard fail-stop sorter: `S_FT` over `nodes` nodes with a receive
+/// timeout tight enough for a demo but tolerant of loaded CI machines.
+pub fn sft_builder(keys: Vec<Key>, nodes: usize) -> SortBuilder {
+    SortBuilder::new(Algorithm::FaultTolerant)
+        .keys(keys)
+        .nodes(nodes)
+        .recv_timeout(Duration::from_millis(800))
+}

@@ -10,14 +10,16 @@
 //! cargo run --example fault_injection
 //! ```
 
+mod common;
+
 use aoft::faults::{FaultKind, FaultPlan, Trigger};
 use aoft::hypercube::NodeId;
 use aoft::sort::{Algorithm, SortBuilder, SortError};
+use common::{demo_keys, sorted};
 
 fn main() {
-    let keys: Vec<i32> = (0..16).map(|x| (x * 73 + 7) % 97).collect();
-    let mut expected = keys.clone();
-    expected.sort_unstable();
+    let keys = demo_keys(16, 2);
+    let expected = sorted(&keys);
 
     println!("=== S_FT under single Byzantine faults ===");
     for kind in FaultKind::ALL {

@@ -4,12 +4,15 @@
 //! cargo run --example quickstart
 //! ```
 
+mod common;
+
 use aoft::sort::{Algorithm, SortBuilder};
+use common::demo_keys;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 32 keys, one per node of a 5-dimensional hypercube — the machine the
     // paper measured.
-    let keys: Vec<i32> = (0..32).map(|x| (x * 1103 + 12345) % 1000 - 500).collect();
+    let keys = demo_keys(32, 1);
     println!("input:  {keys:?}");
 
     let report = SortBuilder::new(Algorithm::FaultTolerant)

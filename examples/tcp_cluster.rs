@@ -16,42 +16,18 @@
 //!    paper's "never silently wrong" guarantee holding over a lossy
 //!    physical medium.
 
-use std::time::Duration;
+mod common;
 
 use aoft::faults::{FaultyTransport, LinkFault};
-use aoft::sim::{TcpConfig, TcpTransport};
-use aoft::sort::{Algorithm, SortBuilder, SortError};
-
-/// Binds a fresh loopback transport. Dials for unmapped labels default to
-/// the transport's own listener, which is exactly right for a
-/// single-process cluster; `set_peer` is shown for the multi-process case
-/// where each node label lives at a different address.
-fn loopback_cluster() -> Result<TcpTransport, Box<dyn std::error::Error>> {
-    let transport = TcpTransport::bind(TcpConfig::default())?;
-    let addr = transport.local_addr();
-    for label in 0..8 {
-        transport.set_peer(label, addr);
-    }
-    Ok(transport)
-}
-
-fn builder(keys: Vec<i32>) -> SortBuilder {
-    SortBuilder::new(Algorithm::FaultTolerant)
-        .keys(keys)
-        .nodes(8)
-        .recv_timeout(Duration::from_millis(800))
-}
+use aoft::sort::SortError;
+use common::{demo_keys, loopback_cluster, sft_builder, sorted};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let keys: Vec<i32> = (0..64i32)
-        .map(|x| x.wrapping_mul(-1_640_531_535) % 1000)
-        .collect();
+    let keys = demo_keys(64, 0);
 
     // Run 1: the cube sorts over TCP.
-    let report = builder(keys.clone()).run_on(loopback_cluster()?)?;
-    let mut expected = keys.clone();
-    expected.sort_unstable();
-    assert_eq!(report.output(), expected.as_slice());
+    let report = sft_builder(keys.clone(), 8).run_on(loopback_cluster(8)?)?;
+    assert_eq!(report.output(), sorted(&keys).as_slice());
     println!(
         "clean run: {} keys sorted over loopback TCP by {} nodes \
          ({} messages, {} simulated ticks)",
@@ -67,8 +43,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         kill_after: Some(2),
         ..LinkFault::default()
     };
-    let faulty = FaultyTransport::new(loopback_cluster()?, 0xA0F7).fault_sender(5, kill);
-    match builder(keys).run_on(faulty) {
+    let faulty = FaultyTransport::new(loopback_cluster(8)?, 0xA0F7).fault_sender(5, kill);
+    match sft_builder(keys, 8).run_on(faulty) {
         Ok(_) => unreachable!("a silenced peer must not yield a sorted result"),
         Err(SortError::Detected { reports }) => {
             println!(

@@ -13,6 +13,9 @@
 //! * [`sort`] — the paper's contribution: the non-redundant bitonic sort
 //!   `S_NR`, the fault-tolerant `S_FT` with the constraint predicate
 //!   (Φ_P, Φ_F, Φ_C), block variants, and the host-sequential baselines.
+//! * [`svc`] — a resident sorting service: bounded job queue with admission
+//!   control, a worker pool multiplexing the cube over any transport, and a
+//!   diagnosis-driven recovery loop (quarantine + degraded-mode retry).
 //! * [`models`] — analytic cost models and the experiment harness that
 //!   regenerates every table and figure of the paper.
 //!
@@ -40,3 +43,4 @@ pub use aoft_hypercube as hypercube;
 pub use aoft_models as models;
 pub use aoft_sim as sim;
 pub use aoft_sort as sort;
+pub use aoft_svc as svc;

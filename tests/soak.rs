@@ -1,0 +1,125 @@
+//! Service soak: a continuous job stream through a resident `SortService`
+//! with model-level faults injected sporadically over time. The paper's
+//! contract, restated for a long-lived service: every job is answered with
+//! a verified-correct result or a loud error — never a silently wrong one.
+//!
+//! The quick variant runs in tier-1 CI; the 60-second variant is
+//! `#[ignore]`d and run by the nightly workflow
+//! (`cargo test --release --test soak -- --ignored`). Override the
+//! duration with `AOFT_SOAK_SECS`.
+
+use std::time::{Duration, Instant};
+
+use aoft::faults::{periodic_fault_stream, FaultKind};
+use aoft::svc::{JobSpec, SortService, SvcConfig};
+
+const DIM: u32 = 3;
+const NODES: u32 = 1 << DIM;
+const KEYS_PER_JOB: i64 = 32;
+
+fn job_keys(salt: i64) -> Vec<i32> {
+    (0..KEYS_PER_JOB)
+        .map(|x| (((x + salt).wrapping_mul(2_654_435_761)) % 997) as i32)
+        .collect()
+}
+
+fn soak_config() -> SvcConfig {
+    // Strikes may accumulate across hundreds of injected faults, but the
+    // faults are transient (first attempt only) and rotate through every
+    // node — quarantining would evict healthy hardware and eventually
+    // exhaust the cube, so the threshold is set out of reach.
+    SvcConfig::new(DIM)
+        .workers(2)
+        .max_attempts(4)
+        .quarantine_after(u32::MAX)
+        .backoff(Duration::from_millis(1), Duration::from_millis(10))
+        .recv_timeout(Duration::from_millis(300))
+}
+
+/// Pushes `jobs` jobs through the service, every `period`-th under an
+/// injected fault, and verifies every single result. Returns how many jobs
+/// ran faulted.
+fn drive_stream(service: &SortService<aoft::sim::InProc>, jobs: usize, salt: i64) -> usize {
+    let stream = periodic_fault_stream(jobs, 3, NODES, &FaultKind::ALL);
+    let mut faulted = 0;
+    let handles: Vec<_> = stream
+        .into_iter()
+        .enumerate()
+        .map(|(index, (label, plan))| {
+            let keys = job_keys(salt + index as i64);
+            let mut spec = JobSpec::new(keys.clone());
+            if label != "clean" {
+                faulted += 1;
+                spec = spec.fault_plan(plan);
+            }
+            let handle = service.submit(spec).expect("queue admits the stream");
+            (label, keys, handle)
+        })
+        .collect();
+    for (label, keys, handle) in handles {
+        let report = handle
+            .wait()
+            .unwrap_or_else(|err| panic!("{label} job must complete loudly or not at all: {err}"));
+        let mut expected = keys;
+        expected.sort_unstable();
+        assert_eq!(
+            report.output, expected,
+            "{label} job delivered a silently wrong result"
+        );
+    }
+    faulted
+}
+
+/// Tier-1 smoke for the soak harness itself: 48 jobs, every third faulted.
+#[test]
+fn short_fault_stream_never_lies() {
+    let service =
+        SortService::start(soak_config(), aoft::sim::InProc::new()).expect("service starts");
+    let faulted = drive_stream(&service, 48, 0);
+    assert_eq!(faulted, 16, "every third job carries an injected fault");
+    let metrics = service.metrics();
+    assert_eq!(metrics.jobs_completed, 48);
+    assert_eq!(metrics.jobs_failed, 0);
+    assert!(
+        metrics.recovered_jobs >= 1,
+        "injected crashes must manifest as at least one recovery"
+    );
+    service.shutdown();
+}
+
+/// The nightly soak: keep the stream flowing for 60 wall-clock seconds
+/// (override with `AOFT_SOAK_SECS`), faults arriving sporadically the whole
+/// time, zero silent corruption and zero lost jobs.
+#[test]
+#[ignore = "long-running soak; nightly runs it via -- --ignored"]
+fn service_soak_survives_sporadic_faults() {
+    let secs = std::env::var("AOFT_SOAK_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60);
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    let service =
+        SortService::start(soak_config(), aoft::sim::InProc::new()).expect("service starts");
+    let mut rounds = 0u64;
+    let mut jobs = 0u64;
+    while Instant::now() < deadline {
+        drive_stream(&service, 48, (rounds as i64) * 1_000);
+        rounds += 1;
+        jobs += 48;
+    }
+    let metrics = service.metrics();
+    assert_eq!(metrics.jobs_completed, jobs, "no job may be lost");
+    assert_eq!(metrics.jobs_failed, 0, "transient faults must all recover");
+    assert!(
+        metrics.recovered_jobs >= rounds,
+        "sporadic faults must keep the recovery loop exercised: \
+         {} recoveries over {rounds} rounds",
+        metrics.recovered_jobs
+    );
+    println!(
+        "soak: {jobs} jobs / {rounds} rounds in {secs}s — {} recovered, {} retries, \
+         p50 {:?}, p99 {:?}",
+        metrics.recovered_jobs, metrics.retries, metrics.latency_p50, metrics.latency_p99
+    );
+    service.shutdown();
+}

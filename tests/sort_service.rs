@@ -1,0 +1,170 @@
+//! Acceptance tests for the resident sort service: a continuous job stream
+//! over loopback TCP surviving a mid-stream node death with zero silent
+//! corruption.
+
+use std::time::Duration;
+
+use aoft::faults::{FaultyTransport, LinkFault};
+use aoft::sim::{TcpConfig, TcpTransport};
+use aoft::svc::{JobError, JobSpec, SortService, SubmitError, SvcConfig};
+
+fn loopback(nodes: u32) -> TcpTransport {
+    let transport = TcpTransport::bind(TcpConfig::default()).expect("bind loopback listener");
+    let addr = transport.local_addr();
+    for label in 0..nodes {
+        transport.set_peer(label, addr);
+    }
+    transport
+}
+
+fn job_keys(salt: i64) -> Vec<i32> {
+    (0..32i64)
+        .map(|x| (((x + salt).wrapping_mul(2_654_435_761)) % 997) as i32)
+        .collect()
+}
+
+fn sorted(keys: &[i32]) -> Vec<i32> {
+    let mut expected = keys.to_vec();
+    expected.sort_unstable();
+    expected
+}
+
+/// The PR's acceptance demo: 32 jobs over loopback TCP on a d=3 cube, node
+/// 5 killed mid-stream. Every job must complete with a verified correct
+/// result (quarantine + degraded-mode retry), and the metrics must show the
+/// recovery.
+#[test]
+fn service_survives_mid_stream_node_death_over_tcp() {
+    // Each of node 5's outgoing links goes fail-silent after 25 frames —
+    // a few jobs into the stream. The service's link cache keeps the kill
+    // counters alive across jobs, so the node stays dead until the
+    // diagnosis loop quarantines it.
+    let kill = LinkFault {
+        kill_after: Some(25),
+        ..LinkFault::default()
+    };
+    let transport = FaultyTransport::new(loopback(8), 0xACCE97).fault_sender(5, kill);
+    let config = SvcConfig::new(3)
+        .max_attempts(4)
+        .quarantine_after(1)
+        .backoff(Duration::from_millis(1), Duration::from_millis(20))
+        .recv_timeout(Duration::from_millis(800));
+    let service = SortService::start(config, transport).expect("service starts");
+
+    for index in 0..32i64 {
+        let keys = job_keys(index);
+        let report = service
+            .submit(JobSpec::new(keys.clone()))
+            .expect("queue depth 64 admits a serial stream")
+            .wait()
+            .unwrap_or_else(|err| panic!("job {index} failed loudly: {err}"));
+        assert_eq!(
+            report.output,
+            sorted(&keys),
+            "job {index}: silently wrong output"
+        );
+    }
+
+    let metrics = service.metrics();
+    assert_eq!(metrics.jobs_completed, 32, "every job must complete");
+    assert_eq!(metrics.jobs_failed, 0);
+    assert!(
+        metrics.retries >= 1,
+        "node death must cost at least one retry"
+    );
+    assert!(
+        metrics.recovered_jobs >= 1,
+        "at least one job must recover from the fail-stop"
+    );
+    // A mid-stream kill races cascaded timeouts: the first report's dead
+    // link is incident to node 5 or to a neighbor it starved, and both
+    // endpoints are struck (Definition 3 case 2a). Either way the service
+    // must quarantine into that blast region and route the stream around
+    // it — naming node 5 *specifically* is only deterministic when the
+    // node is dead from its first send (covered by the unit tests).
+    assert!(
+        !metrics.quarantined.is_empty(),
+        "the fail-stop must quarantine at least one implicated node"
+    );
+    assert!(
+        metrics.quarantined.iter().all(|&n| n < 8),
+        "quarantine holds physical cube labels, got {:?}",
+        metrics.quarantined
+    );
+    assert!(metrics.latency_p99 >= metrics.latency_p50);
+    service.shutdown();
+}
+
+/// Concurrent workers multiplex one TCP cube without crosstalk: disjoint
+/// link-tag namespaces and per-attempt run ids keep 4 simultaneous jobs'
+/// frames apart on the shared transport.
+#[test]
+fn concurrent_workers_share_one_tcp_cube() {
+    let config = SvcConfig::new(2)
+        .workers(4)
+        .recv_timeout(Duration::from_millis(800));
+    let service = SortService::start(config, loopback(4)).expect("service starts");
+    let handles: Vec<_> = (0..16i64)
+        .map(|index| {
+            let keys = job_keys(100 + index);
+            let handle = service.submit(JobSpec::new(keys.clone())).expect("admit");
+            (keys, handle)
+        })
+        .collect();
+    for (keys, handle) in handles {
+        let report = handle.wait().expect("concurrent job completes");
+        assert_eq!(report.output, sorted(&keys));
+    }
+    let metrics = service.metrics();
+    assert_eq!(metrics.jobs_completed, 16);
+    assert_eq!(metrics.jobs_failed, 0);
+    assert!(metrics.quarantined.is_empty(), "clean cluster stays clean");
+    service.shutdown();
+}
+
+/// Backpressure is visible to TCP clients too: a depth-2 queue with a slow
+/// single worker rejects the overflow rather than buffering unboundedly.
+#[test]
+fn admission_control_rejects_past_queue_depth() {
+    let config = SvcConfig::new(2)
+        .queue_depth(2)
+        .workers(1)
+        .recv_timeout(Duration::from_millis(800));
+    let service = SortService::start(config, loopback(4)).expect("service starts");
+    let mut admitted = Vec::new();
+    let mut rejected = 0usize;
+    for index in 0..64i64 {
+        match service.submit(JobSpec::new(job_keys(index))) {
+            Ok(handle) => admitted.push(handle),
+            Err(SubmitError::Backpressure { depth }) => {
+                assert_eq!(depth, 2);
+                rejected += 1;
+            }
+            Err(other) => panic!("unexpected rejection: {other}"),
+        }
+    }
+    assert!(rejected > 0, "64 instant submits must outrun one worker");
+    for handle in admitted {
+        assert!(
+            handle.wait().is_ok(),
+            "admitted jobs complete despite the rejected burst"
+        );
+    }
+    service.shutdown();
+}
+
+/// A shut-down service answers loudly, never hangs.
+#[test]
+fn shutdown_is_loud() {
+    let service = SortService::start(
+        SvcConfig::new(2).recv_timeout(Duration::from_millis(800)),
+        loopback(4),
+    )
+    .expect("service starts");
+    let handle = service.submit(JobSpec::new(job_keys(7))).expect("admit");
+    service.shutdown();
+    match handle.wait() {
+        Ok(report) => assert_eq!(report.output, sorted(&job_keys(7))),
+        Err(err) => assert!(matches!(err, JobError::Stopped)),
+    }
+}
