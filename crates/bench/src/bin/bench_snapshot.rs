@@ -1,0 +1,352 @@
+//! `bench-snapshot`: deterministic performance snapshots and the CI gate
+//! that compares them.
+//!
+//! Two modes:
+//!
+//! * **snapshot** (default): runs fast, fixed-iteration measurements of the
+//!   wire codec, the constraint predicates, and end-to-end service
+//!   throughput, and writes a schema-stable JSON document (git SHA, date,
+//!   per-metric median/p99 in microseconds). `--quick` shrinks the sample
+//!   counts for CI; `--out <path>` writes to a file instead of stdout.
+//!
+//! * **compare** (`--compare <baseline> <current>`): loads two snapshots
+//!   and fails (exit 1) when any metric present in the baseline regressed
+//!   by more than `--threshold` (default 0.25, i.e. 25%) on its median.
+//!   This is the whole CI gate — no external tooling.
+//!
+//! The snapshot measures wall-clock on whatever machine runs it, so the
+//! gate only ever compares snapshots produced in the same CI environment.
+
+use std::collections::BTreeMap;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use aoft_hypercube::NodeId;
+use aoft_net::frame::{decode_frame, encode_frame, FrameKind};
+use aoft_net::wire::{from_bytes, to_bytes};
+use aoft_net::InProc;
+use aoft_sort::predicates::bit_compare_stage;
+use aoft_sort::{Block, LbsBuffer, LbsWire, Msg};
+use aoft_svc::{JobSpec, SortService, SvcConfig};
+use serde::{Deserialize, Serialize};
+
+/// Snapshot document version; bump only on incompatible shape changes.
+const SCHEMA: u32 = 1;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Metric {
+    /// Unit of the statistics (always microseconds today).
+    unit: String,
+    /// Median over the samples.
+    median: f64,
+    /// 99th percentile (nearest rank) over the samples.
+    p99: f64,
+    /// Number of samples the statistics summarize.
+    samples: u64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Snapshot {
+    schema: u32,
+    git_sha: String,
+    date: String,
+    quick: bool,
+    metrics: BTreeMap<String, Metric>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--compare") {
+        let baseline = args.get(pos + 1).unwrap_or_else(|| usage("baseline path"));
+        let current = args.get(pos + 2).unwrap_or_else(|| usage("current path"));
+        let threshold = flag_value(&args, "--threshold")
+            .map(|v| v.parse::<f64>().unwrap_or_else(|_| usage("threshold")))
+            .unwrap_or(0.25);
+        std::process::exit(compare(baseline, current, threshold));
+    }
+
+    let quick = args.iter().any(|a| a == "--quick");
+    let snapshot = take_snapshot(quick);
+    let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+    match flag_value(&args, "--out") {
+        Some(path) => {
+            std::fs::write(&path, format!("{json}\n")).expect("write snapshot");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}
+
+fn usage(what: &str) -> ! {
+    eprintln!("bench-snapshot: missing/invalid {what}");
+    eprintln!("usage: bench-snapshot [--quick] [--out FILE]");
+    eprintln!("       bench-snapshot --compare BASELINE CURRENT [--threshold 0.25]");
+    std::process::exit(2);
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+// --- snapshot -----------------------------------------------------------
+
+fn take_snapshot(quick: bool) -> Snapshot {
+    let mut metrics = BTreeMap::new();
+    let (samples, batch) = if quick { (30, 20) } else { (100, 100) };
+
+    // Wire codec: a representative stage message (64-key block plus a
+    // half-filled 8-slot LBS), encode and decode paths.
+    let msg = tagged_msg(64, 8);
+    let payload = to_bytes(&msg);
+    let frame = encode_frame(FrameKind::Data, &payload);
+    metrics.insert(
+        "codec_encode".to_string(),
+        measure(samples, batch, || {
+            std::hint::black_box(encode_frame(FrameKind::Data, &to_bytes(&msg)));
+        }),
+    );
+    metrics.insert(
+        "codec_decode".to_string(),
+        measure(samples, batch, || {
+            let mut input = frame.as_slice();
+            let (_, payload) = decode_frame(&mut input).expect("valid frame");
+            std::hint::black_box(from_bytes::<Msg>(&payload).expect("valid payload"));
+        }),
+    );
+
+    // Constraint predicates: bit_compare (Φ_P + Φ_F) over a 64-node span.
+    let (lbs, llbs) = honest_buffers(64, 5);
+    metrics.insert(
+        "predicate_bit_compare".to_string(),
+        measure(samples, batch, || {
+            std::hint::black_box(
+                bit_compare_stage(&lbs, &llbs, NodeId::new(0), 5).expect("honest buffers"),
+            );
+        }),
+    );
+
+    // Service throughput: per-job submit→completion latency through a
+    // resident service on in-process channels, d = 3, two workers.
+    metrics.insert(
+        "service_job_latency".to_string(),
+        service_latencies(if quick { 16 } else { 48 }),
+    );
+
+    Snapshot {
+        schema: SCHEMA,
+        git_sha: git_sha(),
+        date: today(),
+        quick,
+        metrics,
+    }
+}
+
+/// `samples` timings of `batch` calls each, reported per call in µs.
+fn measure(samples: usize, batch: usize, mut f: impl FnMut()) -> Metric {
+    // Warm-up: populate caches and lazy statics outside the measurement.
+    for _ in 0..batch {
+        f();
+    }
+    let mut timings: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            start.elapsed().as_secs_f64() * 1e6 / batch as f64
+        })
+        .collect();
+    summarize(&mut timings)
+}
+
+fn summarize(timings: &mut [f64]) -> Metric {
+    timings.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let rank = |pct: usize| {
+        let r = (timings.len() * pct).div_ceil(100).max(1);
+        timings[r - 1]
+    };
+    Metric {
+        unit: "us".to_string(),
+        median: rank(50),
+        p99: rank(99),
+        samples: timings.len() as u64,
+    }
+}
+
+fn service_latencies(jobs: usize) -> Metric {
+    let config = SvcConfig::new(3).workers(2).queue_depth(2 * jobs);
+    let service = SortService::start(config, InProc::new()).expect("service starts");
+    let handles: Vec<_> = (0..jobs as i64)
+        .map(|salt| {
+            let keys: Vec<i32> = (0..64)
+                .map(|x: i64| (((x + salt).wrapping_mul(2_654_435_761)) % 997) as i32)
+                .collect();
+            service.submit(JobSpec::new(keys)).expect("admit")
+        })
+        .collect();
+    let mut timings: Vec<f64> = handles
+        .into_iter()
+        .map(|h| h.wait().expect("job completes").latency.as_secs_f64() * 1e6)
+        .collect();
+    summarize(&mut timings)
+}
+
+/// A representative stage message, mirroring the codec criterion bench.
+fn tagged_msg(m: usize, span: usize) -> Msg {
+    let block = Block::from_unsorted((0..m as i32).map(|x| x.wrapping_mul(-31)).collect());
+    let slots = (0..span)
+        .map(|i| (i % 2 == 0).then(|| block.clone()))
+        .collect();
+    Msg::Tagged {
+        data: block.clone(),
+        lbs: LbsWire {
+            span_start: 0,
+            block_len: m as u32,
+            slots,
+        },
+    }
+}
+
+/// Honest (LBS, LLBS) buffers at the end of `stage` (same construction as
+/// the predicates criterion bench).
+fn honest_buffers(nodes: usize, stage: u32) -> (LbsBuffer, LbsBuffer) {
+    let mut llbs = LbsBuffer::new(nodes, 1);
+    let mut lbs = LbsBuffer::new(nodes, 1);
+    let span = 1usize << (stage + 1);
+    for start in (0..nodes).step_by(span) {
+        let half = span / 2;
+        let mut values: Vec<i32> = (0..span as i32).collect();
+        values[half..].reverse();
+        for (off, v) in values.iter().enumerate() {
+            lbs.set(NodeId::new((start + off) as u32), Block::new(vec![*v]));
+        }
+        for half_start in [0, half] {
+            let mut half_vals: Vec<i32> = (half_start..half_start + half)
+                .map(|off| values[off])
+                .collect();
+            half_vals.sort_unstable();
+            let q = half / 2;
+            if q > 0 {
+                half_vals[q..].reverse();
+            }
+            for (off, v) in half_vals.iter().enumerate() {
+                llbs.set(
+                    NodeId::new((start + half_start + off) as u32),
+                    Block::new(vec![*v]),
+                );
+            }
+        }
+    }
+    (lbs, llbs)
+}
+
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Today as `YYYY-MM-DD` (UTC), from the Unix time via the standard civil
+/// date algorithm — no date crate in the offline build.
+fn today() -> String {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    let (y, m, d) = civil_from_days(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Howard Hinnant's `civil_from_days`: days since 1970-01-01 → (y, m, d).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+// --- compare ------------------------------------------------------------
+
+fn compare(baseline_path: &str, current_path: &str, threshold: f64) -> i32 {
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+    if baseline.schema != current.schema {
+        eprintln!(
+            "schema mismatch: baseline v{} vs current v{}",
+            baseline.schema, current.schema
+        );
+        return 1;
+    }
+    let mut failures = 0;
+    for (name, base) in &baseline.metrics {
+        let Some(cur) = current.metrics.get(name) else {
+            println!("FAIL {name}: missing from current snapshot");
+            failures += 1;
+            continue;
+        };
+        let ratio = if base.median > 0.0 {
+            cur.median / base.median
+        } else {
+            1.0
+        };
+        let status = if ratio > 1.0 + threshold {
+            failures += 1;
+            "FAIL"
+        } else {
+            "ok  "
+        };
+        println!(
+            "{status} {name}: median {:.2}{} -> {:.2}{} ({:+.1}%), p99 {:.2} -> {:.2}",
+            base.median,
+            base.unit,
+            cur.median,
+            cur.unit,
+            (ratio - 1.0) * 100.0,
+            base.p99,
+            cur.p99,
+        );
+    }
+    if failures > 0 {
+        eprintln!(
+            "{failures} metric(s) regressed beyond {:.0}% (baseline {} @ {}, current {} @ {})",
+            threshold * 100.0,
+            baseline.git_sha,
+            baseline.date,
+            current.git_sha,
+            current.date,
+        );
+        1
+    } else {
+        println!(
+            "all {} metric(s) within {:.0}% of baseline {}",
+            baseline.metrics.len(),
+            threshold * 100.0,
+            baseline.git_sha,
+        );
+        0
+    }
+}
+
+fn load(path: &str) -> Snapshot {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e:?}");
+        std::process::exit(2);
+    })
+}

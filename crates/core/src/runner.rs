@@ -380,6 +380,9 @@ impl SortBuilder {
             }
         }
 
+        let reg = aoft_obs::global();
+        reg.sort_runs.inc();
+        let run_watch = aoft_obs::Stopwatch::new();
         let report: RunReport<Block> = match self.algorithm {
             Algorithm::NonRedundant => {
                 engine.run_faulty(&SnrProgram::new(blocks), self.plan.build(nodes))
@@ -390,6 +393,7 @@ impl SortBuilder {
             Algorithm::HostSequential => host::sequential(&engine, blocks),
             Algorithm::HostVerified => host::verified(&engine, blocks, self.plan.build(nodes)),
         };
+        reg.run_time.record(run_watch.elapsed());
 
         let metrics = report.metrics().clone();
         let trace = report.trace().clone();
@@ -414,7 +418,19 @@ impl SortBuilder {
                     trace,
                 })
             }
-            Err(reports) => Err(SortError::Detected { reports }),
+            Err(reports) => {
+                reg.sort_failstops.inc();
+                aoft_obs::emit(aoft_obs::Event::new("sort_failstop").job(self.job).detail(
+                    format!(
+                            "{} report(s); first: {}",
+                            reports.len(),
+                            reports
+                                .first()
+                                .map_or_else(|| "none".to_string(), ToString::to_string)
+                        ),
+                ));
+                Err(SortError::Detected { reports })
+            }
         }
     }
 

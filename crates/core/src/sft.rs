@@ -110,6 +110,13 @@ impl SftProgram {
 /// Signals `violation` to the host and converts it into the `SimError` the
 /// node thread unwinds with.
 fn fail(ctx: &mut NodeCtx<'_, Msg>, violation: Violation) -> SimError {
+    aoft_obs::record_violation(
+        violation.family(),
+        violation.code(),
+        ctx.id().index() as u32,
+        violation.stage_hint(),
+        &violation.to_string(),
+    );
     ctx.signal_report(
         violation.code(),
         violation.stage_hint(),
@@ -132,6 +139,13 @@ fn recv_checked(ctx: &mut NodeCtx<'_, Msg>, from: NodeId) -> Result<Msg, SimErro
                 return Err(SimError::Cancelled);
             }
             let violation = Violation::MessageLost { from };
+            aoft_obs::record_violation(
+                violation.family(),
+                violation.code(),
+                ctx.id().index() as u32,
+                None,
+                &violation.to_string(),
+            );
             ctx.signal_report(
                 violation.code(),
                 None,
@@ -213,7 +227,10 @@ impl SftState {
         step: u32,
     ) -> Result<(), SimError> {
         ctx.charge_moves(sender_holdings.len());
-        match phi_c(&mut self.lbs, wire, &sender_holdings, report_stage, step) {
+        let watch = aoft_obs::Stopwatch::new();
+        let checked = phi_c(&mut self.lbs, wire, &sender_holdings, report_stage, step);
+        aoft_obs::record_predicate_check("phi_c", watch.elapsed());
+        match checked {
             Ok(outcome) => {
                 ctx.charge_compares(outcome.compared * self.m);
                 ctx.charge_moves(outcome.adopted * self.m);
@@ -369,6 +386,7 @@ impl Program<Msg> for SftProgram {
         };
 
         for stage in 0..n {
+            let stage_watch = aoft_obs::Stopwatch::new();
             let span = Subcube::home(stage + 1, me);
             let ascending = subcube_ascending(span);
             for step in (0..=stage).rev() {
@@ -379,10 +397,19 @@ impl Program<Msg> for SftProgram {
             // fully distributed — skipped at stage 0 per assumption 5.
             if stage > 0 {
                 ctx.charge_compares(bit_compare_cost(stage, state.m));
-                if let Err(violation) = bit_compare_stage(&state.lbs, &state.llbs, me, stage) {
+                let watch = aoft_obs::Stopwatch::new();
+                let checked = bit_compare_stage(&state.lbs, &state.llbs, me, stage);
+                // bit_compare evaluates both Φ_P (bitonicity) and Φ_F
+                // (permutation) over the distributed sequence.
+                let reg = aoft_obs::global();
+                reg.predicate_checks.add("phi_p", 1);
+                reg.predicate_checks.add("phi_f", 1);
+                reg.predicate_check_time.record(watch.elapsed());
+                if let Err(violation) = checked {
                     return Err(fail(ctx, violation));
                 }
             }
+            aoft_obs::global().stage_time.record(stage_watch.elapsed());
             // LLBS := LBS; LBS := own value (Figure 3's copy loop + reset).
             ctx.charge_moves(span.len() * state.m);
             state.llbs = state.lbs.snapshot();
@@ -397,7 +424,13 @@ impl Program<Msg> for SftProgram {
             state.final_exchange(ctx, step, span)?;
         }
         ctx.charge_compares(bit_compare_cost(n - 1, state.m) * 2);
-        if let Err(violation) = bit_compare_final(&state.lbs, &state.llbs, me, n) {
+        let watch = aoft_obs::Stopwatch::new();
+        let checked = bit_compare_final(&state.lbs, &state.llbs, me, n);
+        let reg = aoft_obs::global();
+        reg.predicate_checks.add("phi_p", 1);
+        reg.predicate_checks.add("phi_f", 1);
+        reg.predicate_check_time.record(watch.elapsed());
+        if let Err(violation) = checked {
             return Err(fail(ctx, violation));
         }
 

@@ -118,6 +118,21 @@ impl Violation {
         }
     }
 
+    /// ASCII key for the predicate family, suitable as a metric label value
+    /// (`aoft_violations_total{predicate="..."}`).
+    pub fn family(&self) -> &'static str {
+        match self {
+            Violation::NonBitonic { .. } => "phi_p",
+            Violation::NotPermutation { .. } => "phi_f",
+            Violation::Inconsistent { .. }
+            | Violation::MissingEntry { .. }
+            | Violation::IncompleteSequence { .. } => "phi_c",
+            Violation::MalformedBlock { .. } | Violation::UnexpectedMessage { .. } => "structure",
+            Violation::MessageLost { .. } => "timeout",
+            Violation::OutputRejected => "theorem1",
+        }
+    }
+
     /// The predicate (or mechanism) that fired.
     pub fn predicate(&self) -> &'static str {
         match self {
@@ -217,6 +232,23 @@ mod tests {
         unique.dedup();
         assert_eq!(unique.len(), codes.len());
         assert!(codes.iter().all(|&c| c != 0), "0 is reserved for runtime");
+    }
+
+    #[test]
+    fn families_are_ascii_label_values() {
+        for v in all() {
+            let family = v.family();
+            assert!(family.is_ascii(), "{family}");
+            assert!(
+                family
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{family}"
+            );
+        }
+        assert_eq!(Violation::NonBitonic { stage: 1 }.family(), "phi_p");
+        assert_eq!(Violation::NotPermutation { stage: 1 }.family(), "phi_f");
+        assert_eq!(Violation::OutputRejected.family(), "theorem1");
     }
 
     #[test]

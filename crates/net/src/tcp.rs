@@ -29,6 +29,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use aoft_obs::LinkCounters;
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::{Condvar, Mutex};
 
@@ -205,7 +206,8 @@ impl<M: Wire + Send + 'static> Transport<M> for TcpTransport {
         {
             let dead = Arc::clone(&dead);
             let config = self.config.clone();
-            std::thread::spawn(move || writer_loop(&mut stream, &queue, &dead, &config));
+            let counters = LinkCounters::for_link(&link.to_string());
+            std::thread::spawn(move || writer_loop(&mut stream, &queue, &dead, &config, &counters));
         }
         Ok(Box::new(TcpTx {
             commands,
@@ -233,8 +235,13 @@ impl<M: Wire + Send + 'static> Transport<M> for TcpTransport {
         };
         stream.set_read_timeout(Some(READ_SLICE))?;
         let (events_tx, events) = unbounded::<Result<M, NetError>>();
-        let heartbeat_timeout = self.config.heartbeat_timeout;
-        std::thread::spawn(move || reader_loop(stream, &events_tx, heartbeat_timeout));
+        let watch = FailureWatch {
+            heartbeat_timeout: self.config.heartbeat_timeout,
+            heartbeat_interval: self.config.heartbeat_interval,
+            link,
+            counters: LinkCounters::for_link(&link.to_string()),
+        };
+        std::thread::spawn(move || reader_loop(stream, &events_tx, &watch));
         Ok(Box::new(TcpRx { events }))
     }
 }
@@ -273,15 +280,17 @@ fn writer_loop(
     queue: &Receiver<TxCmd>,
     dead: &AtomicBool,
     config: &TcpConfig,
+    counters: &LinkCounters,
 ) {
     let heartbeat = encode_frame(FrameKind::Heartbeat, &[]);
     loop {
         match queue.recv_timeout(config.heartbeat_interval) {
             Ok(TxCmd::Data(frame)) => {
-                if write_with_retry(stream, &frame, config).is_err() {
+                if write_with_retry(stream, &frame, config, counters).is_err() {
                     dead.store(true, Ordering::Release);
                     return;
                 }
+                counters.bytes_sent.add(frame.len() as u64);
             }
             Ok(TxCmd::Bye) | Err(RecvTimeoutError::Disconnected) => {
                 let _ = stream.write_all(&encode_frame(FrameKind::Bye, &[]));
@@ -293,6 +302,7 @@ fn writer_loop(
                     dead.store(true, Ordering::Release);
                     return;
                 }
+                counters.bytes_sent.add(heartbeat.len() as u64);
             }
         }
     }
@@ -305,7 +315,12 @@ fn writer_loop(
 /// acceptable because every frame is CRC-guarded — the peer detects the
 /// corruption and fail-stops, which is exactly the paper's contract: faults
 /// need not be masked, only never silent.
-fn write_with_retry(stream: &mut TcpStream, frame: &[u8], config: &TcpConfig) -> io::Result<()> {
+fn write_with_retry(
+    stream: &mut TcpStream,
+    frame: &[u8],
+    config: &TcpConfig,
+    counters: &LinkCounters,
+) -> io::Result<()> {
     let mut backoff = Backoff::new(config.initial_backoff, config.max_backoff);
     let mut attempts = 0u32;
     loop {
@@ -316,6 +331,7 @@ fn write_with_retry(stream: &mut TcpStream, frame: &[u8], config: &TcpConfig) ->
                 if attempts > config.max_send_retries {
                     return Err(err);
                 }
+                counters.send_retries.inc();
                 std::thread::sleep(backoff.next_delay());
             }
         }
@@ -349,14 +365,51 @@ impl<M: Send> LinkRx<M> for TcpRx<M> {
     }
 }
 
+/// The reader thread's failure-detector state: timing thresholds plus the
+/// observability handles for the link it watches.
+struct FailureWatch {
+    heartbeat_timeout: Duration,
+    heartbeat_interval: Duration,
+    link: LinkId,
+    counters: LinkCounters,
+}
+
+impl FailureWatch {
+    /// Counts each expected-but-absent heartbeat exactly once: with the
+    /// peer silent for `silent_for`, `silent_for / heartbeat_interval`
+    /// beacons should have arrived; any beyond `already_reported` are new
+    /// misses.
+    fn note_silence(&self, silent_for: Duration, already_reported: u64) -> u64 {
+        let interval = self.heartbeat_interval.as_micros().max(1);
+        let expected = (silent_for.as_micros() / interval) as u64;
+        if expected > already_reported {
+            self.counters
+                .heartbeat_misses
+                .add(expected - already_reported);
+        }
+        expected.max(already_reported)
+    }
+
+    fn note_peer_dead(&self, silent_for: Duration) {
+        self.counters.peer_dead.inc();
+        aoft_obs::emit(
+            aoft_obs::Event::new("peer_dead")
+                .link(&self.link.to_string())
+                .elapsed(silent_for)
+                .detail("heartbeat timeout exceeded; declaring fail-stop"),
+        );
+    }
+}
+
 fn reader_loop<M: Wire>(
     mut stream: TcpStream,
     events: &Sender<Result<M, NetError>>,
-    heartbeat_timeout: Duration,
+    watch: &FailureWatch,
 ) {
     let mut acc: Vec<u8> = Vec::new();
     let mut buf = [0u8; 8192];
     let mut last_seen = Instant::now();
+    let mut misses_reported = 0u64;
     loop {
         match stream.read(&mut buf) {
             Ok(0) => {
@@ -365,6 +418,8 @@ fn reader_loop<M: Wire>(
             }
             Ok(n) => {
                 last_seen = Instant::now();
+                misses_reported = 0;
+                watch.counters.bytes_received.add(n as u64);
                 acc.extend_from_slice(&buf[..n]);
                 if let Drain::Stop = drain_frames(&mut acc, events) {
                     return;
@@ -377,7 +432,9 @@ fn reader_loop<M: Wire>(
                 ) =>
             {
                 let silent_for = last_seen.elapsed();
-                if silent_for > heartbeat_timeout {
+                misses_reported = watch.note_silence(silent_for, misses_reported);
+                if silent_for > watch.heartbeat_timeout {
+                    watch.note_peer_dead(silent_for);
                     let _ = events.send(Err(NetError::PeerDead { silent_for }));
                     return;
                 }

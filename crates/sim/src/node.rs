@@ -350,13 +350,27 @@ impl<'a, M: Payload> NodeCtx<'a, M> {
     ) {
         self.metrics.errors_signalled += 1;
         self.record(EventKind::ErrorSignalled { code });
+        let detail = detail.into();
+        aoft_obs::global().error_reports.inc();
+        {
+            let mut event = aoft_obs::Event::new("error_report")
+                .job(self.job)
+                .node(self.id.index() as u32)
+                .stage(stage)
+                .code(code)
+                .detail(detail.clone());
+            if let Some(suspect) = suspect {
+                event = event.detail(format!("{detail} (suspect {suspect})"));
+            }
+            aoft_obs::emit(event);
+        }
         let _ = self.err_tx.send(ErrorReport {
             detector: self.id,
             at: self.clock,
             code,
             stage,
             suspect,
-            detail: detail.into(),
+            detail,
         });
         self.cancel.cancel();
     }

@@ -1,6 +1,7 @@
 //! Service configuration and its validation.
 
 use std::fmt;
+use std::net::SocketAddr;
 use std::time::Duration;
 
 use aoft_sort::Algorithm;
@@ -40,6 +41,10 @@ pub struct SvcConfig {
     pub recv_timeout: Duration,
     /// The sorting algorithm jobs run.
     pub algorithm: Algorithm,
+    /// Address to serve Prometheus metrics on (`None` disables the
+    /// endpoint). Port 0 binds an ephemeral port, reported by
+    /// [`SortService::metrics_addr`](crate::SortService::metrics_addr).
+    pub metrics_addr: Option<SocketAddr>,
 }
 
 impl SvcConfig {
@@ -59,6 +64,7 @@ impl SvcConfig {
             backoff_max: Duration::from_millis(160),
             recv_timeout: Duration::from_millis(800),
             algorithm: Algorithm::FaultTolerant,
+            metrics_addr: None,
         }
     }
 
@@ -108,6 +114,12 @@ impl SvcConfig {
     /// Sets the algorithm jobs run.
     pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
         self.algorithm = algorithm;
+        self
+    }
+
+    /// Serves Prometheus metrics on `addr` (port 0 for an ephemeral port).
+    pub fn metrics_addr(mut self, addr: SocketAddr) -> Self {
+        self.metrics_addr = Some(addr);
         self
     }
 
@@ -166,6 +178,15 @@ mod tests {
     #[test]
     fn defaults_validate() {
         assert!(SvcConfig::new(3).validate().is_ok());
+        assert!(SvcConfig::new(3).metrics_addr.is_none());
+    }
+
+    #[test]
+    fn metrics_addr_is_recorded() {
+        let addr: SocketAddr = "127.0.0.1:0".parse().unwrap();
+        let config = SvcConfig::new(3).metrics_addr(addr);
+        assert_eq!(config.metrics_addr, Some(addr));
+        assert!(config.validate().is_ok());
     }
 
     #[test]

@@ -1,8 +1,17 @@
 //! Service-wide metrics: job counters, latency percentiles, and merged
 //! simulator counters.
+//!
+//! The sink is the single chokepoint for job-lifecycle accounting: every
+//! update lands both in the service's own state (for
+//! [`SvcMetrics`] snapshots) and in the process-wide
+//! [`aoft_obs`] registry (for the `/metrics` endpoint). Latencies go into a
+//! fixed-bucket [`Histogram`] — bounded memory no matter how long the
+//! resident service lives, unlike the unbounded `Vec<Duration>` it
+//! replaces.
 
 use std::time::Duration;
 
+use aoft_obs::Histogram;
 use aoft_sim::NodeMetrics;
 use parking_lot::Mutex;
 
@@ -11,6 +20,7 @@ use parking_lot::Mutex;
 #[derive(Default)]
 pub(crate) struct MetricsSink {
     state: Mutex<MetricsState>,
+    latency: Histogram,
 }
 
 #[derive(Default)]
@@ -21,40 +31,53 @@ struct MetricsState {
     failed: u64,
     retries: u64,
     recovered_jobs: u64,
-    latencies: Vec<Duration>,
     sim: NodeMetrics,
 }
 
 impl MetricsSink {
     pub fn job_submitted(&self) {
         self.state.lock().submitted += 1;
+        aoft_obs::global().jobs_submitted.inc();
     }
 
     pub fn job_rejected(&self) {
         self.state.lock().rejected += 1;
+        aoft_obs::global().jobs_rejected.inc();
     }
 
     pub fn job_completed(&self, latency: Duration, retries: u64, sim: &NodeMetrics) {
-        let mut state = self.state.lock();
-        state.completed += 1;
-        state.retries += retries;
-        if retries > 0 {
-            state.recovered_jobs += 1;
+        {
+            let mut state = self.state.lock();
+            state.completed += 1;
+            state.retries += retries;
+            if retries > 0 {
+                state.recovered_jobs += 1;
+            }
+            state.sim.merge(sim);
         }
-        state.latencies.push(latency);
-        state.sim.merge(sim);
+        self.latency.record(latency);
+        let reg = aoft_obs::global();
+        reg.jobs_completed.inc();
+        reg.job_retries.add(retries);
+        if retries > 0 {
+            reg.jobs_recovered.inc();
+        }
+        reg.job_latency.record(latency);
     }
 
     pub fn job_failed(&self, retries: u64) {
-        let mut state = self.state.lock();
-        state.failed += 1;
-        state.retries += retries;
+        {
+            let mut state = self.state.lock();
+            state.failed += 1;
+            state.retries += retries;
+        }
+        let reg = aoft_obs::global();
+        reg.jobs_failed.inc();
+        reg.job_retries.add(retries);
     }
 
     pub fn snapshot(&self, queue_depth: usize, quarantined: Vec<u32>) -> SvcMetrics {
         let state = self.state.lock();
-        let mut sorted = state.latencies.clone();
-        sorted.sort_unstable();
         SvcMetrics {
             jobs_submitted: state.submitted,
             jobs_rejected: state.rejected,
@@ -64,21 +87,12 @@ impl MetricsSink {
             recovered_jobs: state.recovered_jobs,
             queue_depth,
             quarantined,
-            latency_p50: percentile(&sorted, 50),
-            latency_p90: percentile(&sorted, 90),
-            latency_p99: percentile(&sorted, 99),
+            latency_p50: self.latency.percentile(50),
+            latency_p90: self.latency.percentile(90),
+            latency_p99: self.latency.percentile(99),
             sim: state.sim,
         }
     }
-}
-
-/// Nearest-rank percentile over an ascending-sorted slice.
-fn percentile(sorted: &[Duration], pct: u32) -> Duration {
-    if sorted.is_empty() {
-        return Duration::ZERO;
-    }
-    let rank = (sorted.len() as u64 * pct as u64).div_ceil(100).max(1) as usize;
-    sorted[rank - 1]
 }
 
 /// A point-in-time view of the service's health and throughput.
@@ -115,13 +129,34 @@ mod tests {
     use super::*;
 
     #[test]
-    fn percentiles_use_nearest_rank() {
+    fn single_and_identical_latencies_stay_exact() {
+        // The histogram's bucket-mean percentile is exact whenever a bucket
+        // holds one distinct value — the property the service's p50/p90/p99
+        // output relies on for small sample counts.
+        let sink = MetricsSink::default();
         let ms = |n: u64| Duration::from_millis(n);
-        let sorted: Vec<Duration> = (1..=100).map(ms).collect();
-        assert_eq!(percentile(&sorted, 50), ms(50));
-        assert_eq!(percentile(&sorted, 99), ms(99));
-        assert_eq!(percentile(&[ms(7)], 50), ms(7));
-        assert_eq!(percentile(&[], 99), Duration::ZERO);
+        for _ in 0..3 {
+            sink.job_completed(ms(7), 0, &NodeMetrics::default());
+        }
+        let snap = sink.snapshot(0, vec![]);
+        assert_eq!(snap.latency_p50, ms(7));
+        assert_eq!(snap.latency_p90, ms(7));
+        assert_eq!(snap.latency_p99, ms(7));
+    }
+
+    #[test]
+    fn spread_latencies_order_the_percentiles() {
+        let sink = MetricsSink::default();
+        let ms = |n: u64| Duration::from_millis(n);
+        for n in 1..=100 {
+            sink.job_completed(ms(n), 0, &NodeMetrics::default());
+        }
+        let snap = sink.snapshot(0, vec![]);
+        // Bucketed percentiles: within the nearest-rank sample's bucket.
+        assert!(snap.latency_p50 >= ms(33) && snap.latency_p50 < ms(66));
+        assert!(snap.latency_p99 >= ms(66) && snap.latency_p99 <= ms(100));
+        assert!(snap.latency_p99 >= snap.latency_p90);
+        assert!(snap.latency_p90 >= snap.latency_p50);
     }
 
     #[test]

@@ -54,6 +54,7 @@ impl JobQueue {
             return Err(PushRefused::Full);
         }
         state.jobs.push_back(job);
+        aoft_obs::global().queue_depth.set(state.jobs.len() as i64);
         drop(state);
         self.available.notify_one();
         Ok(())
@@ -65,6 +66,7 @@ impl JobQueue {
         let mut state = self.state.lock();
         loop {
             if let Some(job) = state.jobs.pop_front() {
+                aoft_obs::global().queue_depth.set(state.jobs.len() as i64);
                 return Some(job);
             }
             if state.stopped {
@@ -86,6 +88,7 @@ impl JobQueue {
         let mut state = self.state.lock();
         state.stopped = true;
         let drained = state.jobs.drain(..).collect();
+        aoft_obs::global().queue_depth.set(0);
         drop(state);
         self.available.notify_all();
         drained

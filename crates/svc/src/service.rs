@@ -9,6 +9,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use aoft_net::{Backoff, LinkCache, MappedTransport, Transport};
+use aoft_obs::ObsServer;
 use aoft_sim::{ErrorReport, NodeMetrics, Packet};
 use aoft_sort::{Msg, SortBuilder, SortError};
 
@@ -46,6 +47,9 @@ where
 {
     inner: Arc<Inner<T>>,
     workers: Vec<JoinHandle<()>>,
+    /// The Prometheus endpoint, when [`SvcConfig::metrics_addr`] asked for
+    /// one. Serving stops when the service is dropped.
+    obs: Option<ObsServer>,
 }
 
 struct Inner<T>
@@ -70,13 +74,22 @@ where
     T: Transport<Packet<Msg>> + Send + Sync + 'static,
 {
     /// Validates `config`, wraps `transport` in the service's link cache,
-    /// and spawns the worker pool.
+    /// and spawns the worker pool (plus the metrics endpoint when
+    /// [`SvcConfig::metrics_addr`] is set).
     ///
     /// # Errors
     ///
-    /// [`ConfigError`] when the configuration cannot serve any job.
+    /// [`ConfigError`] when the configuration cannot serve any job, or when
+    /// the requested metrics address cannot be bound.
     pub fn start(config: SvcConfig, transport: T) -> Result<Self, ConfigError> {
         config.validate()?;
+        let obs = match config.metrics_addr {
+            Some(addr) => Some(
+                ObsServer::bind(addr)
+                    .map_err(|e| ConfigError(format!("metrics endpoint {addr}: {e}")))?,
+            ),
+            None => None,
+        };
         let inner = Arc::new(Inner {
             cache: Arc::new(LinkCache::new(transport)),
             queue: JobQueue::new(config.queue_depth),
@@ -95,7 +108,17 @@ where
                     .expect("spawn service worker")
             })
             .collect();
-        Ok(Self { inner, workers })
+        Ok(Self {
+            inner,
+            workers,
+            obs,
+        })
+    }
+
+    /// The bound metrics-endpoint address (resolved port when configured
+    /// with port 0); `None` when the endpoint is disabled.
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.obs.as_ref().map(ObsServer::local_addr)
     }
 
     /// Submits a job for asynchronous completion.
@@ -192,7 +215,9 @@ where
     T: Transport<Packet<Msg>> + Send + Sync + 'static,
 {
     while let Some(job) = inner.queue.pop() {
+        aoft_obs::global().inflight_jobs.add(1);
         let result = run_job(&inner, slot, &job);
+        aoft_obs::global().inflight_jobs.add(-1);
         match &result {
             Ok(report) => inner.metrics.job_completed(
                 report.latency,
@@ -245,6 +270,13 @@ where
             )));
         }
         let run_id = inner.next_run.fetch_add(1, Ordering::Relaxed) + 1;
+        aoft_obs::global().attempts.inc();
+        aoft_obs::emit(
+            aoft_obs::Event::new("attempt_started")
+                .job(job.id.0)
+                .attempt(attempt as u32)
+                .detail(format!("run {run_id} on a {}-dim cube", plan.dim)),
+        );
         let transport = MappedTransport::new(Arc::clone(&inner.cache), plan.map.clone())
             .with_tag_base(tag_base);
         let mut builder = SortBuilder::new(config.algorithm)
@@ -278,6 +310,12 @@ where
                 });
             }
             Ok(Err(SortError::Detected { reports })) => {
+                aoft_obs::emit(
+                    aoft_obs::Event::new("attempt_failstop")
+                        .job(job.id.0)
+                        .attempt(attempt as u32)
+                        .detail(format!("{} report(s)", reports.len())),
+                );
                 digest_failure(inner, &reports, &plan, &mut avoid);
                 detections.push(reports);
             }
@@ -307,7 +345,16 @@ fn digest_failure<T>(
     avoid.extend(verdict.suspects.iter().copied());
     for label in verdict.newly_quarantined {
         inner.cache.purge_node(label);
+        aoft_obs::global().quarantine_events.inc();
+        aoft_obs::emit(
+            aoft_obs::Event::new("quarantine")
+                .node(label)
+                .detail("node struck out service-wide; cached links purged"),
+        );
     }
+    aoft_obs::global()
+        .quarantined_nodes
+        .set(inner.recovery.quarantined().len() as i64);
 }
 
 fn panic_message(payload: Box<dyn Any + Send>) -> String {

@@ -42,10 +42,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .max_attempts(4)
         .quarantine_after(1)
         .backoff(Duration::from_millis(5), Duration::from_millis(40))
-        .recv_timeout(Duration::from_millis(800));
+        .recv_timeout(Duration::from_millis(800))
+        .metrics_addr("127.0.0.1:0".parse()?);
     let service = SortService::start(config, transport)?;
+    let metrics_addr = service.metrics_addr().expect("metrics endpoint enabled");
 
-    println!("serving 32 jobs over loopback TCP; node 5 dies mid-stream\n");
+    println!("serving 32 jobs over loopback TCP; node 5 dies mid-stream");
+    println!("Prometheus metrics live at http://{metrics_addr}/metrics\n");
     let mut recovered = Vec::new();
     for index in 0..32u64 {
         let keys = demo_keys(32, index as i64);
@@ -77,6 +80,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         metrics.latency_p99,
     );
     println!("quarantined node labels: {:?}", metrics.quarantined);
+
+    // Live scrape of the Prometheus endpoint: the fault shows up as Φ
+    // violations and a quarantine event next to the routine job, queue,
+    // predicate, and per-link traffic counters.
+    let exposition = aoft::obs::scrape(metrics_addr)?;
+    let samples = aoft::obs::prom::parse_samples(&exposition).map_err(std::io::Error::other)?;
+    println!("\nscrape of http://{metrics_addr}/metrics:");
+    for name in [
+        "aoft_jobs_completed_total",
+        "aoft_job_retries_total",
+        "aoft_quarantine_total",
+        "aoft_predicate_checks_total",
+        "aoft_violations_total",
+        "aoft_net_bytes_sent_total",
+    ] {
+        println!("  {name} = {}", samples[name]);
+    }
+    assert!(samples["aoft_predicate_checks_total"] > 0.0);
+    assert!(samples["aoft_net_bytes_sent_total"] > 0.0);
+    assert!(
+        samples["aoft_violations_total"] > 0.0 || samples["aoft_quarantine_total"] > 0.0,
+        "the injected kill must be visible on the scrape"
+    );
 
     assert_eq!(metrics.jobs_completed, 32);
     assert!(

@@ -13,9 +13,14 @@
 //! * [`sort`] — the paper's contribution: the non-redundant bitonic sort
 //!   `S_NR`, the fault-tolerant `S_FT` with the constraint predicate
 //!   (Φ_P, Φ_F, Φ_C), block variants, and the host-sequential baselines.
+//! * [`net`] — pluggable transports: in-process channels, TCP links with
+//!   heartbeat failure detection, and transport-level fault injection.
 //! * [`svc`] — a resident sorting service: bounded job queue with admission
 //!   control, a worker pool multiplexing the cube over any transport, and a
 //!   diagnosis-driven recovery loop (quarantine + degraded-mode retry).
+//! * [`obs`] — unified observability: a process-global metric registry with
+//!   a Prometheus text endpoint, fixed-bucket latency histograms, and a
+//!   JSONL event journal for fail-stop postmortems.
 //! * [`models`] — analytic cost models and the experiment harness that
 //!   regenerates every table and figure of the paper.
 //!
@@ -41,6 +46,8 @@
 pub use aoft_faults as faults;
 pub use aoft_hypercube as hypercube;
 pub use aoft_models as models;
+pub use aoft_net as net;
+pub use aoft_obs as obs;
 pub use aoft_sim as sim;
 pub use aoft_sort as sort;
 pub use aoft_svc as svc;

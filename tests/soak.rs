@@ -89,7 +89,10 @@ fn short_fault_stream_never_lies() {
 
 /// The nightly soak: keep the stream flowing for 60 wall-clock seconds
 /// (override with `AOFT_SOAK_SECS`), faults arriving sporadically the whole
-/// time, zero silent corruption and zero lost jobs.
+/// time, zero silent corruption and zero lost jobs. With
+/// `AOFT_SOAK_JOURNAL=<path>` the run also writes the observability event
+/// journal there (nightly archives it as an artifact), and the final
+/// metrics scrape is printed for the run log.
 #[test]
 #[ignore = "long-running soak; nightly runs it via -- --ignored"]
 fn service_soak_survives_sporadic_faults() {
@@ -97,9 +100,12 @@ fn service_soak_survives_sporadic_faults() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(60);
+    if let Ok(path) = std::env::var("AOFT_SOAK_JOURNAL") {
+        aoft::obs::install_journal(&path).expect("journal path is writable");
+    }
     let deadline = Instant::now() + Duration::from_secs(secs);
-    let service =
-        SortService::start(soak_config(), aoft::sim::InProc::new()).expect("service starts");
+    let config = soak_config().metrics_addr("127.0.0.1:0".parse().unwrap());
+    let service = SortService::start(config, aoft::sim::InProc::new()).expect("service starts");
     let mut rounds = 0u64;
     let mut jobs = 0u64;
     while Instant::now() < deadline {
@@ -121,5 +127,20 @@ fn service_soak_survives_sporadic_faults() {
          p50 {:?}, p99 {:?}",
         metrics.recovered_jobs, metrics.retries, metrics.latency_p50, metrics.latency_p99
     );
+
+    // End-of-run scrape: the endpoint must serve a parseable exposition
+    // whose job and predicate counters reflect the stream that just ran.
+    let addr = service.metrics_addr().expect("soak config enables metrics");
+    let text = aoft::obs::scrape(addr).expect("endpoint answers");
+    let samples = aoft::obs::prom::parse_samples(&text).expect("exposition parses");
+    assert!(samples["aoft_jobs_completed_total"] >= jobs as f64);
+    assert!(samples["aoft_predicate_checks_total"] > 0.0);
+    assert!(
+        samples["aoft_violations_total"] > 0.0,
+        "sporadic injected faults must surface as constraint violations"
+    );
+    println!("final scrape:\n{text}");
+
     service.shutdown();
+    aoft::obs::flush_journal();
 }

@@ -153,6 +153,86 @@ fn admission_control_rejects_past_queue_depth() {
     service.shutdown();
 }
 
+/// The observability acceptance demo: a service with the Prometheus
+/// endpoint enabled, scraped live while a faulted stream runs. The
+/// exposition must parse, carry every advertised metric family, and show
+/// the fault as a nonzero Φ-violation or quarantine counter alongside
+/// nonzero job, link, and predicate activity.
+#[test]
+fn metrics_endpoint_serves_prometheus_exposition() {
+    let kill = LinkFault {
+        kill_after: Some(25),
+        ..LinkFault::default()
+    };
+    let transport = FaultyTransport::new(loopback(8), 0x0B5E7).fault_sender(5, kill);
+    let config = SvcConfig::new(3)
+        .max_attempts(4)
+        .quarantine_after(1)
+        .backoff(Duration::from_millis(1), Duration::from_millis(20))
+        .recv_timeout(Duration::from_millis(800))
+        .metrics_addr("127.0.0.1:0".parse().unwrap());
+    let service = SortService::start(config, transport).expect("service starts");
+    let addr = service.metrics_addr().expect("endpoint is enabled");
+
+    // Scrape while jobs are in flight, not just after the fact.
+    let handles: Vec<_> = (0..8i64)
+        .map(|index| {
+            let keys = job_keys(500 + index);
+            (
+                keys.clone(),
+                service.submit(JobSpec::new(keys)).expect("admit"),
+            )
+        })
+        .collect();
+    let live = aoft::obs::scrape(addr).expect("endpoint answers mid-stream");
+    aoft::obs::prom::parse_samples(&live).expect("mid-stream exposition parses");
+    for (keys, handle) in handles {
+        let report = handle.wait().expect("faulted stream still completes");
+        assert_eq!(report.output, sorted(&keys));
+    }
+
+    let text = aoft::obs::scrape(addr).expect("endpoint answers at end of run");
+    let families = aoft::obs::prom::parse_families(&text).expect("exposition parses");
+    for required in [
+        "aoft_jobs_submitted_total",
+        "aoft_jobs_completed_total",
+        "aoft_job_retries_total",
+        "aoft_attempts_total",
+        "aoft_queue_depth",
+        "aoft_inflight_jobs",
+        "aoft_quarantined_nodes",
+        "aoft_job_latency_seconds",
+        "aoft_predicate_checks_total",
+        "aoft_predicate_check_seconds",
+        "aoft_violations_total",
+        "aoft_stage_seconds",
+        "aoft_sort_runs_total",
+        "aoft_sort_failstops_total",
+        "aoft_error_reports_total",
+        "aoft_net_bytes_sent_total",
+        "aoft_net_bytes_received_total",
+        "aoft_net_heartbeat_misses_total",
+        "aoft_net_peer_dead_total",
+    ] {
+        assert!(families.contains(required), "missing family {required}");
+    }
+
+    // The registry is process-global, so assert activity (≥), not totals.
+    let samples = aoft::obs::prom::parse_samples(&text).expect("exposition parses");
+    assert!(samples["aoft_jobs_completed_total"] >= 8.0);
+    assert!(samples["aoft_attempts_total"] >= 8.0);
+    assert!(samples["aoft_predicate_checks_total"] > 0.0);
+    assert!(
+        samples["aoft_net_bytes_sent_total"] > 0.0,
+        "TCP links must account their frame bytes"
+    );
+    assert!(
+        samples["aoft_violations_total"] > 0.0 || samples["aoft_quarantine_total"] > 0.0,
+        "the injected kill must surface as a Φ violation or a quarantine"
+    );
+    service.shutdown();
+}
+
 /// A shut-down service answers loudly, never hangs.
 #[test]
 fn shutdown_is_loud() {
