@@ -25,9 +25,24 @@ use crate::Key;
 /// assert_eq!(block.keys(), &[1, 3, 5]);
 /// assert_eq!(block.len(), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct Block {
     keys: Vec<Key>,
+}
+
+impl Clone for Block {
+    fn clone(&self) -> Self {
+        Self {
+            keys: self.keys.clone(),
+        }
+    }
+
+    // `clone_from` keeps the destination's allocation alive — the hot-path
+    // buffers (LBS slots, scratch blocks) rely on this to stay
+    // allocation-free in steady state.
+    fn clone_from(&mut self, source: &Self) {
+        self.keys.clone_from(&source.keys);
+    }
 }
 
 impl Block {
@@ -118,33 +133,77 @@ impl Block {
     ///
     /// Panics if the blocks differ in size.
     pub fn merge_split(&self, other: &Block) -> (Block, Block) {
+        let mut low = self.clone();
+        let mut high = other.clone();
+        let mut scratch = MergeScratch::for_block_len(self.len());
+        low.merge_split_reuse(&mut high, &mut scratch);
+        (low, high)
+    }
+
+    /// [`merge_split`](Block::merge_split) without the allocations: after
+    /// the call `self` holds the `m` smallest and `other` the `m` largest
+    /// keys, merged through `scratch`. With a scratch sized once from `m`,
+    /// the steady-state compare-exchange performs zero heap allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blocks differ in size.
+    pub fn merge_split_reuse(&mut self, other: &mut Block, scratch: &mut MergeScratch) {
         assert_eq!(
             self.len(),
             other.len(),
             "merge-split requires equal block sizes"
         );
         let m = self.len();
-        let mut merged = Vec::with_capacity(2 * m);
-        let (mut a, mut b) = (self.keys.iter().peekable(), other.keys.iter().peekable());
-        while let (Some(&&x), Some(&&y)) = (a.peek(), b.peek()) {
-            if x <= y {
-                merged.push(x);
-                a.next();
+        scratch.merged.clear();
+        scratch.merged.reserve(2 * m);
+        let (a, b) = (&self.keys, &other.keys);
+        let (mut i, mut j) = (0, 0);
+        while i < m && j < m {
+            if a[i] <= b[j] {
+                scratch.merged.push(a[i]);
+                i += 1;
             } else {
-                merged.push(y);
-                b.next();
+                scratch.merged.push(b[j]);
+                j += 1;
             }
         }
-        merged.extend(a.copied());
-        merged.extend(b.copied());
-        let high = merged.split_off(m);
-        (Block { keys: merged }, Block { keys: high })
+        scratch.merged.extend_from_slice(&a[i..]);
+        scratch.merged.extend_from_slice(&b[j..]);
+        self.keys.clear();
+        self.keys.extend_from_slice(&scratch.merged[..m]);
+        other.keys.clear();
+        other.keys.extend_from_slice(&scratch.merged[m..]);
     }
 
     /// Comparison and move counts charged for one merge-split of blocks of
     /// `m` keys: `(compares, moves)`.
     pub fn merge_split_cost(m: usize) -> (usize, usize) {
         (2 * m, 2 * m)
+    }
+}
+
+/// Reusable merge buffer for [`Block::merge_split_reuse`].
+///
+/// Sized once from `m`, it keeps every subsequent compare-exchange
+/// allocation-free: the merge runs through this buffer and the halves are
+/// copied back into the operand blocks' existing storage.
+#[derive(Debug, Default)]
+pub struct MergeScratch {
+    merged: Vec<Key>,
+}
+
+impl MergeScratch {
+    /// An empty scratch; grows on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A scratch pre-sized for merging two blocks of `m` keys.
+    pub fn for_block_len(m: usize) -> Self {
+        Self {
+            merged: Vec::with_capacity(2 * m),
+        }
     }
 }
 
@@ -163,18 +222,32 @@ impl FromIterator<Key> for Block {
 
 impl aoft_net::Wire for Block {
     fn encode(&self, out: &mut Vec<u8>) {
-        aoft_net::Wire::encode(&self.keys, out);
+        // Same layout as `Vec<Key>` — a u32 count followed by little-endian
+        // keys — but written in one reserved pass.
+        aoft_net::Wire::encode(&(self.keys.len() as u32), out);
+        out.reserve(self.keys.len() * KEY_WIRE_LEN);
+        for key in &self.keys {
+            out.extend_from_slice(&key.to_le_bytes());
+        }
     }
 
     // Decoding goes through `from_wire`: bytes off a socket may describe an
     // unsorted block, and judging that is the predicates' job, not the
-    // codec's.
+    // codec's. The key region is validated as a whole (one bounds check),
+    // then read in fixed-width chunks.
     fn decode(input: &mut &[u8]) -> Result<Self, aoft_net::CodecError> {
-        Ok(Block::from_wire(<Vec<Key> as aoft_net::Wire>::decode(
-            input,
-        )?))
+        let len = <u32 as aoft_net::Wire>::decode(input)? as usize;
+        let bytes = aoft_net::wire::take(input, len.saturating_mul(KEY_WIRE_LEN))?;
+        let keys = bytes
+            .chunks_exact(KEY_WIRE_LEN)
+            .map(|chunk| Key::from_le_bytes(chunk.try_into().expect("sized chunk")))
+            .collect();
+        Ok(Block::from_wire(keys))
     }
 }
+
+/// Encoded width of one [`Key`] on the wire.
+pub(crate) const KEY_WIRE_LEN: usize = std::mem::size_of::<Key>();
 
 /// Splits `keys` into `nodes` equal blocks (node 0 first), sorting each.
 ///
@@ -270,6 +343,45 @@ mod tests {
     #[should_panic(expected = "equal block sizes")]
     fn merge_split_size_mismatch_panics() {
         Block::new(vec![1]).merge_split(&Block::new(vec![1, 2]));
+    }
+
+    #[test]
+    fn merge_split_reuse_keeps_allocations() {
+        let mut low = Block::new(vec![1, 4, 8]);
+        let mut high = Block::new(vec![2, 3, 9]);
+        let mut scratch = MergeScratch::for_block_len(3);
+        let (low_ptr, high_ptr) = (low.keys.as_ptr(), high.keys.as_ptr());
+        for _ in 0..4 {
+            low.merge_split_reuse(&mut high, &mut scratch);
+        }
+        assert_eq!(low.keys(), &[1, 2, 3]);
+        assert_eq!(high.keys(), &[4, 8, 9]);
+        // Steady state reuses the same storage — no fresh allocations.
+        assert_eq!(low.keys.as_ptr(), low_ptr);
+        assert_eq!(high.keys.as_ptr(), high_ptr);
+    }
+
+    #[test]
+    fn block_wire_layout_matches_vec() {
+        use aoft_net::wire::{from_bytes, to_bytes};
+        let keys = vec![i32::MIN, -7, 0, 42, i32::MAX];
+        let block = Block::new({
+            let mut k = keys.clone();
+            k.sort_unstable();
+            k
+        });
+        // The bulk codec must stay byte-compatible with the generic
+        // element-wise `Vec<Key>` encoding.
+        assert_eq!(to_bytes(&block), to_bytes(&block.keys));
+        let decoded: Block = from_bytes(&to_bytes(&block)).unwrap();
+        assert_eq!(decoded, block);
+    }
+
+    #[test]
+    fn block_wire_hostile_length_rejected() {
+        use aoft_net::wire::from_bytes;
+        // A 4-billion-key claim backed by no bytes must fail fast.
+        assert!(from_bytes::<Block>(&u32::MAX.to_le_bytes()).is_err());
     }
 
     #[test]

@@ -17,12 +17,33 @@ use crate::msg::LbsWire;
 use crate::{subcube_ascending, Block, Key};
 
 /// One node's view of a distributed (bitonic) sequence.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Entries are gated by the held mask: a slot may retain a stale [`Block`]
+/// (its allocation kept warm for reuse) after
+/// [`reset_to_self_with`](LbsBuffer::reset_to_self_with), but it is
+/// invisible until the mask marks it held again.
+#[derive(Debug, Clone)]
 pub struct LbsBuffer {
     entries: Vec<Option<Block>>,
     held: NodeSet,
     block_len: u32,
 }
+
+// Equality looks through the held mask — stale entry storage kept around
+// for allocation reuse must not distinguish otherwise-identical buffers.
+impl PartialEq for LbsBuffer {
+    fn eq(&self, other: &Self) -> bool {
+        self.block_len == other.block_len
+            && self.entries.len() == other.entries.len()
+            && self.held == other.held
+            && self
+                .held
+                .iter()
+                .all(|node| self.entries[node.index()] == other.entries[node.index()])
+    }
+}
+
+impl Eq for LbsBuffer {}
 
 impl LbsBuffer {
     /// An empty buffer for a machine of `nodes` nodes holding blocks of
@@ -47,6 +68,9 @@ impl LbsBuffer {
 
     /// The entry owned by `node`, if held.
     pub fn get(&self, node: NodeId) -> Option<&Block> {
+        if !self.held.contains(node) {
+            return None;
+        }
         self.entries[node.index()].as_ref()
     }
 
@@ -54,6 +78,16 @@ impl LbsBuffer {
     pub fn set(&mut self, node: NodeId, block: Block) {
         self.held.insert(node);
         self.entries[node.index()] = Some(block);
+    }
+
+    /// Stores a copy of `block` as `node`'s entry, reusing the slot's
+    /// existing key storage when one is present.
+    pub fn set_from(&mut self, node: NodeId, block: &Block) {
+        self.held.insert(node);
+        match &mut self.entries[node.index()] {
+            Some(existing) => existing.clone_from(block),
+            slot => *slot = Some(block.clone()),
+        }
     }
 
     /// `true` if `node`'s entry is held.
@@ -76,6 +110,16 @@ impl LbsBuffer {
         self.set(me, own);
     }
 
+    /// [`reset_to_self`](LbsBuffer::reset_to_self) without surrendering any
+    /// allocation: the held mask is cleared (hiding every stale entry) and
+    /// `own` is copied into this node's slot, reusing its storage. The hot
+    /// loop calls this once per stage, so after warm-up no stage boundary
+    /// allocates.
+    pub fn reset_to_self_with(&mut self, me: NodeId, own: &Block) {
+        self.held.clear();
+        self.set_from(me, own);
+    }
+
     /// Serializes the entries of `span` for piggybacking — the full-span
     /// array the paper transmits with every exchange.
     ///
@@ -91,10 +135,7 @@ impl LbsBuffer {
         LbsWire {
             span_start: span.start().raw(),
             block_len: self.block_len,
-            slots: span
-                .iter()
-                .map(|node| self.entries[node.index()].clone())
-                .collect(),
+            slots: span.iter().map(|node| self.get(node).cloned()).collect(),
         }
     }
 
@@ -112,21 +153,32 @@ impl LbsBuffer {
     /// Returns `None` if any entry of the span is missing.
     pub fn flatten_ascending(&self, span: Subcube) -> Option<Vec<Key>> {
         let mut out = Vec::with_capacity(span.len() * self.block_len as usize);
+        self.flatten_ascending_into(span, &mut out).then_some(out)
+    }
+
+    /// [`flatten_ascending`](LbsBuffer::flatten_ascending) into a caller
+    /// buffer — `out` is cleared and filled; returns `false` (leaving a
+    /// partial fill behind) if any entry of the span is missing. Reusing one
+    /// buffer across predicate checks keeps the verification path free of
+    /// per-step allocations.
+    pub fn flatten_ascending_into(&self, span: Subcube, out: &mut Vec<Key>) -> bool {
+        out.clear();
+        out.reserve(span.len() * self.block_len as usize);
         let ascending = subcube_ascending(span);
-        let mut push = |node: NodeId| -> Option<()> {
-            out.extend_from_slice(self.get(node)?.keys());
-            Some(())
+        let mut push = |node: NodeId| -> bool {
+            match self.get(node) {
+                Some(block) => {
+                    out.extend_from_slice(block.keys());
+                    true
+                }
+                None => false,
+            }
         };
         if ascending {
-            for node in span.iter() {
-                push(node)?;
-            }
+            span.iter().all(&mut push)
         } else {
-            for node in span.iter().rev() {
-                push(node)?;
-            }
+            span.iter().rev().all(&mut push)
         }
-        Some(out)
     }
 
     /// Promotes this buffer into the `LLBS` role by cloning (the paper's
@@ -225,6 +277,61 @@ mod tests {
         assert!(buf
             .flatten_ascending(Subcube::home(1, NodeId::new(0)))
             .is_none());
+    }
+
+    #[test]
+    fn reset_to_self_with_hides_stale_entries() {
+        let mut buf = LbsBuffer::new(4, 1);
+        buf.set(NodeId::new(0), block(&[1]));
+        buf.set(NodeId::new(1), block(&[2]));
+        buf.reset_to_self_with(NodeId::new(2), &block(&[9]));
+        assert_eq!(buf.held().len(), 1);
+        assert!(buf.holds(NodeId::new(2)));
+        assert_eq!(buf.get(NodeId::new(2)).unwrap().keys(), &[9]);
+        // Stale storage survives internally but is invisible everywhere.
+        assert!(buf.get(NodeId::new(0)).is_none());
+        assert!(!buf.holds(NodeId::new(0)));
+        let wire = buf.to_wire(Subcube::home(2, NodeId::new(0)));
+        assert_eq!(wire.filled(), 1);
+        assert!(wire.get(NodeId::new(0)).is_none());
+    }
+
+    #[test]
+    fn equality_ignores_stale_entries() {
+        let mut stale = LbsBuffer::new(4, 1);
+        stale.set(NodeId::new(0), block(&[1]));
+        stale.reset_to_self_with(NodeId::new(2), &block(&[9]));
+        let mut fresh = LbsBuffer::new(4, 1);
+        fresh.reset_to_self(NodeId::new(2), block(&[9]));
+        assert_eq!(stale, fresh);
+        fresh.set(NodeId::new(3), block(&[4]));
+        assert_ne!(stale, fresh);
+    }
+
+    #[test]
+    fn set_from_reuses_slot_storage() {
+        let mut buf = LbsBuffer::new(4, 2);
+        buf.set(NodeId::new(1), block(&[1, 2]));
+        let ptr = buf.entries[1].as_ref().unwrap().keys().as_ptr();
+        buf.reset_to_self_with(NodeId::new(0), &block(&[0, 0]));
+        buf.set_from(NodeId::new(1), &block(&[3, 4]));
+        assert_eq!(buf.get(NodeId::new(1)).unwrap().keys(), &[3, 4]);
+        assert_eq!(buf.entries[1].as_ref().unwrap().keys().as_ptr(), ptr);
+    }
+
+    #[test]
+    fn flatten_into_reuses_buffer() {
+        let mut buf = LbsBuffer::new(4, 2);
+        buf.set(NodeId::new(0), block(&[1, 3]));
+        buf.set(NodeId::new(1), block(&[5, 9]));
+        let span = Subcube::home(1, NodeId::new(0));
+        let mut out = Vec::with_capacity(4);
+        let ptr = out.as_ptr();
+        assert!(buf.flatten_ascending_into(span, &mut out));
+        assert_eq!(out, vec![1, 3, 5, 9]);
+        assert!(buf.flatten_ascending_into(span, &mut out));
+        assert_eq!(out, vec![1, 3, 5, 9]);
+        assert_eq!(out.as_ptr(), ptr);
     }
 
     #[test]

@@ -68,9 +68,9 @@ pub mod theorem1;
 mod violation;
 
 pub use bitonic::{is_bitonic, is_circular_bitonic};
-pub use block::Block;
+pub use block::{Block, MergeScratch};
 pub use lbs::LbsBuffer;
-pub use msg::{LbsWire, Msg};
+pub use msg::{BlockView, LbsWire, LbsWireView, Msg, MsgView};
 pub use runner::{Algorithm, RetryReport, SortBuilder, SortDirection, SortError, SortReport};
 pub use sft::{SftProgram, Shipping};
 pub use snr::SnrProgram;

@@ -19,7 +19,7 @@ use aoft_hypercube::{NodeId, Subcube};
 
 use crate::{LbsBuffer, Violation};
 
-use super::{phi_f, phi_p_final, phi_p_stage};
+use super::{phi_f_with, phi_p_final_with, phi_p_stage_with, PredicateScratch};
 
 /// The end-of-stage check (`if (i ≠ 0) bit_compare(LLBS, LBS)`).
 ///
@@ -42,11 +42,31 @@ pub fn bit_compare_stage(
     me: NodeId,
     stage: u32,
 ) -> Result<(), Violation> {
+    bit_compare_stage_with(lbs, llbs, me, stage, &mut PredicateScratch::new())
+}
+
+/// [`bit_compare_stage`] running Φ_P and Φ_F through caller-owned scratch —
+/// the hot-path form node programs call once per stage without allocating.
+///
+/// # Errors
+///
+/// As for [`bit_compare_stage`].
+///
+/// # Panics
+///
+/// As for [`bit_compare_stage`].
+pub fn bit_compare_stage_with(
+    lbs: &LbsBuffer,
+    llbs: &LbsBuffer,
+    me: NodeId,
+    stage: u32,
+    scratch: &mut PredicateScratch,
+) -> Result<(), Violation> {
     assert!(stage > 0, "bit_compare is skipped at stage 0");
     let full_span = Subcube::home(stage + 1, me);
-    phi_p_stage(lbs, full_span, stage)?;
+    phi_p_stage_with(lbs, full_span, stage, scratch)?;
     let my_half = Subcube::home(stage, me);
-    phi_f(lbs, llbs, my_half, stage)
+    phi_f_with(lbs, llbs, my_half, stage, scratch)
 }
 
 /// The final check after the pure-exchange verification stage.
@@ -70,10 +90,29 @@ pub fn bit_compare_final(
     me: NodeId,
     n: u32,
 ) -> Result<(), Violation> {
+    bit_compare_final_with(lbs, llbs, me, n, &mut PredicateScratch::new())
+}
+
+/// [`bit_compare_final`] running Φ_P and Φ_F through caller-owned scratch.
+///
+/// # Errors
+///
+/// As for [`bit_compare_final`].
+///
+/// # Panics
+///
+/// As for [`bit_compare_final`].
+pub fn bit_compare_final_with(
+    lbs: &LbsBuffer,
+    llbs: &LbsBuffer,
+    me: NodeId,
+    n: u32,
+    scratch: &mut PredicateScratch,
+) -> Result<(), Violation> {
     assert!(n > 0, "no verification stage on a one-node machine");
     let span = Subcube::home(n, me);
-    phi_p_final(lbs, span, n)?;
-    phi_f(lbs, llbs, span, n)
+    phi_p_final_with(lbs, span, n, scratch)?;
+    phi_f_with(lbs, llbs, span, n, scratch)
 }
 
 /// Comparison-operation count of one `bit_compare` at stage `i` with blocks

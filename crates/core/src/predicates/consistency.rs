@@ -13,7 +13,7 @@
 use aoft_hypercube::NodeSet;
 
 use crate::msg::LbsWire;
-use crate::{Block, LbsBuffer, Violation};
+use crate::{LbsBuffer, Violation};
 
 /// What a Φ_C merge did — the caller charges virtual time from these
 /// counts (`adopted` entries are moves, `compared` entries are comparisons).
@@ -44,11 +44,15 @@ pub struct PhiCOutcome {
 /// computed locally from the schedule, never trusted from the message, so a
 /// faulty sender cannot plant entries it could not legitimately hold.
 ///
+/// Adoption *moves* the block out of `incoming` (which is consumed
+/// bookkeeping, not reused by callers) — no key is copied on the
+/// steady-state merge path.
+///
 /// On success the local held-mask has grown to `lmask ∪ expected`, the
 /// paper's returned `omask`.
 pub fn phi_c(
     lbs: &mut LbsBuffer,
-    incoming: &LbsWire,
+    incoming: &mut LbsWire,
     expected: &NodeSet,
     stage: u32,
     step: u32,
@@ -67,22 +71,20 @@ pub fn phi_c(
                 got: block.len() as u32,
             });
         }
-        match lbs.get(node) {
-            Some(held) => {
-                outcome.compared += 1;
-                if held != block {
-                    return Err(Violation::Inconsistent {
-                        stage,
-                        step,
-                        entry: node,
-                    });
-                }
+        if let Some(held) = lbs.get(node) {
+            outcome.compared += 1;
+            if held != block {
+                return Err(Violation::Inconsistent {
+                    stage,
+                    step,
+                    entry: node,
+                });
             }
-            None => {
-                outcome.adopted += 1;
-                lbs.set(node, Block::from_wire(block.keys().to_vec()));
-            }
+            continue;
         }
+        outcome.adopted += 1;
+        let block = incoming.take(node).expect("presence checked above");
+        lbs.set(node, block);
     }
     Ok(outcome)
 }
@@ -92,6 +94,7 @@ mod tests {
     use aoft_hypercube::NodeId;
 
     use super::*;
+    use crate::Block;
 
     fn wire(span_start: u32, slots: Vec<Option<Block>>) -> LbsWire {
         LbsWire {
@@ -113,8 +116,8 @@ mod tests {
     fn adopts_new_entries() {
         let mut lbs = LbsBuffer::new(8, 1);
         lbs.set(NodeId::new(0), Block::new(vec![5]));
-        let incoming = wire(0, vec![None, Some(Block::new(vec![7])), None, None]);
-        let outcome = phi_c(&mut lbs, &incoming, &expect(&[1]), 1, 1).unwrap();
+        let mut incoming = wire(0, vec![None, Some(Block::new(vec![7])), None, None]);
+        let outcome = phi_c(&mut lbs, &mut incoming, &expect(&[1]), 1, 1).unwrap();
         assert_eq!(
             outcome,
             PhiCOutcome {
@@ -130,8 +133,8 @@ mod tests {
     fn agreeing_overlap_passes() {
         let mut lbs = LbsBuffer::new(8, 1);
         lbs.set(NodeId::new(2), Block::new(vec![9]));
-        let incoming = wire(0, vec![None, None, Some(Block::new(vec![9])), None]);
-        let outcome = phi_c(&mut lbs, &incoming, &expect(&[2]), 2, 0).unwrap();
+        let mut incoming = wire(0, vec![None, None, Some(Block::new(vec![9])), None]);
+        let outcome = phi_c(&mut lbs, &mut incoming, &expect(&[2]), 2, 0).unwrap();
         assert_eq!(
             outcome,
             PhiCOutcome {
@@ -145,9 +148,9 @@ mod tests {
     fn disagreeing_overlap_is_inconsistent() {
         let mut lbs = LbsBuffer::new(8, 1);
         lbs.set(NodeId::new(2), Block::new(vec![9]));
-        let incoming = wire(0, vec![None, None, Some(Block::new(vec![8])), None]);
+        let mut incoming = wire(0, vec![None, None, Some(Block::new(vec![8])), None]);
         assert_eq!(
-            phi_c(&mut lbs, &incoming, &expect(&[2]), 2, 0),
+            phi_c(&mut lbs, &mut incoming, &expect(&[2]), 2, 0),
             Err(Violation::Inconsistent {
                 stage: 2,
                 step: 0,
@@ -159,9 +162,9 @@ mod tests {
     #[test]
     fn expected_but_absent_entry_is_missing() {
         let mut lbs = LbsBuffer::new(8, 1);
-        let incoming = wire(0, vec![Some(Block::new(vec![1])), None, None, None]);
+        let mut incoming = wire(0, vec![Some(Block::new(vec![1])), None, None, None]);
         assert_eq!(
-            phi_c(&mut lbs, &incoming, &expect(&[0, 1]), 1, 0),
+            phi_c(&mut lbs, &mut incoming, &expect(&[0, 1]), 1, 0),
             Err(Violation::MissingEntry {
                 stage: 1,
                 step: 0,
@@ -175,7 +178,7 @@ mod tests {
         // The wire claims entry 3, but vect_mask says the sender can only
         // hold entry 0 — the plant must not be adopted.
         let mut lbs = LbsBuffer::new(8, 1);
-        let incoming = wire(
+        let mut incoming = wire(
             0,
             vec![
                 Some(Block::new(vec![1])),
@@ -184,7 +187,7 @@ mod tests {
                 Some(Block::new(vec![66])),
             ],
         );
-        phi_c(&mut lbs, &incoming, &expect(&[0]), 1, 1).unwrap();
+        phi_c(&mut lbs, &mut incoming, &expect(&[0]), 1, 1).unwrap();
         assert!(lbs.get(NodeId::new(3)).is_none());
         assert!(lbs.holds(NodeId::new(0)));
     }
@@ -192,13 +195,13 @@ mod tests {
     #[test]
     fn malformed_block_is_rejected() {
         let mut lbs = LbsBuffer::new(8, 2);
-        let incoming = LbsWire {
+        let mut incoming = LbsWire {
             span_start: 0,
             block_len: 2,
             slots: vec![Some(Block::new(vec![1]))], // only one key, m = 2
         };
         assert_eq!(
-            phi_c(&mut lbs, &incoming, &expect(&[0]), 0, 0),
+            phi_c(&mut lbs, &mut incoming, &expect(&[0]), 0, 0),
             Err(Violation::MalformedBlock {
                 stage: 0,
                 expected: 2,
@@ -211,13 +214,13 @@ mod tests {
     fn block_overlap_compares_whole_block() {
         let mut lbs = LbsBuffer::new(8, 2);
         lbs.set(NodeId::new(1), Block::new(vec![3, 4]));
-        let incoming = LbsWire {
+        let mut incoming = LbsWire {
             span_start: 0,
             block_len: 2,
             slots: vec![None, Some(Block::new(vec![3, 5]))],
         };
         assert_eq!(
-            phi_c(&mut lbs, &incoming, &expect(&[1]), 1, 0),
+            phi_c(&mut lbs, &mut incoming, &expect(&[1]), 1, 0),
             Err(Violation::Inconsistent {
                 stage: 1,
                 step: 0,
@@ -230,7 +233,7 @@ mod tests {
     fn grown_mask_is_union() {
         let mut lbs = LbsBuffer::new(8, 1);
         lbs.set(NodeId::new(0), Block::new(vec![1]));
-        let incoming = wire(
+        let mut incoming = wire(
             0,
             vec![
                 Some(Block::new(vec![1])),
@@ -239,7 +242,7 @@ mod tests {
                 None,
             ],
         );
-        phi_c(&mut lbs, &incoming, &expect(&[0, 1]), 1, 0).unwrap();
+        phi_c(&mut lbs, &mut incoming, &expect(&[0, 1]), 1, 0).unwrap();
         assert!(lbs.holds(NodeId::new(0)));
         assert!(lbs.holds(NodeId::new(1)));
         assert_eq!(lbs.held().len(), 2);

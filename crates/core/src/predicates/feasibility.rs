@@ -11,6 +11,7 @@
 
 use aoft_hypercube::Subcube;
 
+use super::PredicateScratch;
 use crate::{Key, LbsBuffer, Violation};
 
 /// `true` if `target` is exactly an interleaving of the ascending runs `a`
@@ -73,25 +74,59 @@ pub fn phi_f(
     span: Subcube,
     stage: u32,
 ) -> Result<(), Violation> {
-    let target = flatten(lbs, span, stage)?;
+    phi_f_with(lbs, llbs, span, stage, &mut PredicateScratch::new())
+}
+
+/// [`phi_f`] flattening through caller-owned scratch — the hot-path form:
+/// with a warmed-up [`PredicateScratch`] the check performs no heap
+/// allocation.
+///
+/// # Errors
+///
+/// As for [`phi_f`].
+///
+/// # Panics
+///
+/// As for [`phi_f`].
+pub fn phi_f_with(
+    lbs: &LbsBuffer,
+    llbs: &LbsBuffer,
+    span: Subcube,
+    stage: u32,
+    scratch: &mut PredicateScratch,
+) -> Result<(), Violation> {
+    let PredicateScratch {
+        target,
+        run_a,
+        run_b,
+        ..
+    } = scratch;
+    flatten_into(lbs, span, stage, target)?;
     let (low, high) = span.halves();
-    let run_a = flatten(llbs, low, stage)?;
-    let run_b = flatten(llbs, high, stage)?;
-    if is_merge_of(&target, &run_a, &run_b) {
+    flatten_into(llbs, low, stage, run_a)?;
+    flatten_into(llbs, high, stage, run_b)?;
+    if is_merge_of(target, run_a, run_b) {
         Ok(())
     } else {
         Err(Violation::NotPermutation { stage })
     }
 }
 
-fn flatten(buf: &LbsBuffer, span: Subcube, stage: u32) -> Result<Vec<Key>, Violation> {
-    buf.flatten_ascending(span).ok_or_else(|| {
+fn flatten_into(
+    buf: &LbsBuffer,
+    span: Subcube,
+    stage: u32,
+    out: &mut Vec<Key>,
+) -> Result<(), Violation> {
+    if buf.flatten_ascending_into(span, out) {
+        Ok(())
+    } else {
         let entry = span
             .iter()
             .find(|&node| !buf.holds(node))
             .expect("flatten fails only on a missing entry");
-        Violation::IncompleteSequence { stage, entry }
-    })
+        Err(Violation::IncompleteSequence { stage, entry })
+    }
 }
 
 #[cfg(test)]

@@ -25,10 +25,17 @@ mod bit_compare;
 mod consistency;
 mod feasibility;
 mod progress;
+mod scratch;
 mod vect_mask;
 
-pub use bit_compare::{bit_compare_cost, bit_compare_final, bit_compare_stage};
+pub use bit_compare::{
+    bit_compare_cost, bit_compare_final, bit_compare_final_with, bit_compare_stage,
+    bit_compare_stage_with,
+};
 pub use consistency::{phi_c, PhiCOutcome};
-pub use feasibility::{is_merge_of, phi_f};
-pub use progress::{phi_p_final, phi_p_stage};
-pub use vect_mask::{vect_mask, vect_mask_before, vect_mask_recursive};
+pub use feasibility::{is_merge_of, phi_f, phi_f_with};
+pub use progress::{phi_p_final, phi_p_final_with, phi_p_stage, phi_p_stage_with};
+pub use scratch::PredicateScratch;
+pub use vect_mask::{
+    vect_mask, vect_mask_before, vect_mask_before_into, vect_mask_into, vect_mask_recursive,
+};

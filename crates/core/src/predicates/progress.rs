@@ -14,29 +14,42 @@
 //! direction — so a single `is_sorted` scan checks both at once, in the
 //! `O(2^i)` time of Lemma 8.
 
-use aoft_hypercube::Subcube;
+use aoft_hypercube::{NodeId, Subcube};
 
-use crate::{LbsBuffer, Violation};
+use super::PredicateScratch;
+use crate::{subcube_ascending, LbsBuffer, Violation};
 
-/// Structural prelude shared by both Φ_P forms: every entry of `span` must
-/// be present with exactly `m` keys.
-fn check_blocks(buf: &LbsBuffer, span: Subcube, stage: u32) -> Result<(), Violation> {
-    for node in span.iter() {
-        match buf.get(node) {
-            None => {
-                return Err(Violation::IncompleteSequence { stage, entry: node });
-            }
-            Some(block) if block.len() != buf.block_len() as usize => {
-                return Err(Violation::MalformedBlock {
-                    stage,
-                    expected: buf.block_len(),
-                    got: block.len() as u32,
-                });
-            }
-            Some(_) => {}
+/// Flattens `span` into `out` (honouring the subcube's sort direction, as
+/// [`LbsBuffer::flatten_ascending_into`]) while validating each entry —
+/// present, exactly `m` keys — in the same pass, so Φ_P touches every node
+/// of the span once.
+fn flatten_checked(
+    buf: &LbsBuffer,
+    span: Subcube,
+    stage: u32,
+    out: &mut Vec<crate::Key>,
+) -> Result<(), Violation> {
+    out.clear();
+    out.reserve(span.len() * buf.block_len() as usize);
+    let push = |node: NodeId| -> Result<(), Violation> {
+        let block = buf
+            .get(node)
+            .ok_or(Violation::IncompleteSequence { stage, entry: node })?;
+        if block.len() != buf.block_len() as usize {
+            return Err(Violation::MalformedBlock {
+                stage,
+                expected: buf.block_len(),
+                got: block.len() as u32,
+            });
         }
+        out.extend_from_slice(block.keys());
+        Ok(())
+    };
+    if subcube_ascending(span) {
+        span.iter().try_for_each(push)
+    } else {
+        span.iter().rev().try_for_each(push)
     }
-    Ok(())
 }
 
 /// Φ_P at the end of stage `stage`: the sequence distributed over `span`
@@ -54,11 +67,30 @@ fn check_blocks(buf: &LbsBuffer, span: Subcube, stage: u32) -> Result<(), Violat
 ///
 /// Panics if `span` has dimension zero (a one-node span has no halves).
 pub fn phi_p_stage(buf: &LbsBuffer, span: Subcube, stage: u32) -> Result<(), Violation> {
-    check_blocks(buf, span, stage)?;
+    phi_p_stage_with(buf, span, stage, &mut PredicateScratch::new())
+}
+
+/// [`phi_p_stage`] flattening through caller-owned scratch — the hot-path
+/// form: with a warmed-up [`PredicateScratch`] the check performs no heap
+/// allocation.
+///
+/// # Errors
+///
+/// As for [`phi_p_stage`].
+///
+/// # Panics
+///
+/// As for [`phi_p_stage`].
+pub fn phi_p_stage_with(
+    buf: &LbsBuffer,
+    span: Subcube,
+    stage: u32,
+    scratch: &mut PredicateScratch,
+) -> Result<(), Violation> {
     let (low, high) = span.halves();
     for half in [low, high] {
-        let flat = buf.flatten_ascending(half).expect("coverage checked above");
-        if !crate::bitonic::is_monotone(&flat, true) {
+        flatten_checked(buf, half, stage, &mut scratch.target)?;
+        if !crate::bitonic::is_monotone(&scratch.target, true) {
             return Err(Violation::NonBitonic { stage });
         }
     }
@@ -76,9 +108,22 @@ pub fn phi_p_stage(buf: &LbsBuffer, span: Subcube, stage: u32) -> Result<(), Vio
 /// As for [`phi_p_stage`], with [`Violation::NonBitonic`] reported when the
 /// output is not fully sorted.
 pub fn phi_p_final(buf: &LbsBuffer, span: Subcube, stage: u32) -> Result<(), Violation> {
-    check_blocks(buf, span, stage)?;
-    let flat = buf.flatten_ascending(span).expect("coverage checked above");
-    if !crate::bitonic::is_monotone(&flat, true) {
+    phi_p_final_with(buf, span, stage, &mut PredicateScratch::new())
+}
+
+/// [`phi_p_final`] flattening through caller-owned scratch.
+///
+/// # Errors
+///
+/// As for [`phi_p_final`].
+pub fn phi_p_final_with(
+    buf: &LbsBuffer,
+    span: Subcube,
+    stage: u32,
+    scratch: &mut PredicateScratch,
+) -> Result<(), Violation> {
+    flatten_checked(buf, span, stage, &mut scratch.target)?;
+    if !crate::bitonic::is_monotone(&scratch.target, true) {
         return Err(Violation::NonBitonic { stage });
     }
     Ok(())

@@ -36,23 +36,44 @@ use aoft_hypercube::{NodeId, NodeSet};
 /// assert_eq!(mask.len(), 4);
 /// ```
 pub fn vect_mask(nodes: usize, stage: u32, step: u32, node: NodeId) -> NodeSet {
+    let mut set = NodeSet::empty(nodes);
+    vect_mask_into(nodes, stage, step, node, &mut set);
+    set
+}
+
+/// [`vect_mask`] written into a caller-owned set — the hot-path form: a
+/// reused `out` of the right capacity is cleared and refilled with no
+/// allocation. A set of the wrong capacity is replaced.
+///
+/// # Panics
+///
+/// As for [`vect_mask`].
+pub fn vect_mask_into(nodes: usize, stage: u32, step: u32, node: NodeId, out: &mut NodeSet) {
     assert!(step <= stage, "step {step} beyond stage {stage}");
-    let dims: Vec<u32> = (step..=stage).collect();
     assert!(
         node.index() < nodes,
         "{node} outside machine of {nodes} nodes"
     );
-    let mut set = NodeSet::empty(nodes);
-    for subset in 0u32..(1 << dims.len()) {
+    reset_mask(out, nodes);
+    let dims = stage - step + 1;
+    for subset in 0u32..(1 << dims) {
         let mut label = node.raw();
-        for (bit, dim) in dims.iter().enumerate() {
+        for bit in 0..dims {
             if subset >> bit & 1 == 1 {
-                label ^= 1 << dim;
+                label ^= 1 << (step + bit);
             }
         }
-        set.insert(NodeId::new(label));
+        out.insert(NodeId::new(label));
     }
-    set
+}
+
+/// Clears `out` for refilling, replacing it only on a capacity mismatch.
+fn reset_mask(out: &mut NodeSet, nodes: usize) {
+    if out.capacity() == nodes {
+        out.clear();
+    } else {
+        *out = NodeSet::empty(nodes);
+    }
 }
 
 /// The paper's recursive formulation of `vect_mask` (Figure 4c), preserved
@@ -99,11 +120,24 @@ pub fn vect_mask_recursive(nodes: usize, stage: u32, step: u32, node: NodeId) ->
 ///
 /// As for [`vect_mask`].
 pub fn vect_mask_before(nodes: usize, stage: u32, step: u32, node: NodeId) -> NodeSet {
+    let mut set = NodeSet::empty(nodes);
+    vect_mask_before_into(nodes, stage, step, node, &mut set);
+    set
+}
+
+/// [`vect_mask_before`] written into a caller-owned set; same reuse
+/// contract as [`vect_mask_into`].
+///
+/// # Panics
+///
+/// As for [`vect_mask`].
+pub fn vect_mask_before_into(nodes: usize, stage: u32, step: u32, node: NodeId, out: &mut NodeSet) {
     assert!(step <= stage, "step {step} beyond stage {stage}");
     if step == stage {
-        NodeSet::singleton(nodes, node)
+        reset_mask(out, nodes);
+        out.insert(node);
     } else {
-        vect_mask(nodes, stage, step + 1, node)
+        vect_mask_into(nodes, stage, step + 1, node, out);
     }
 }
 

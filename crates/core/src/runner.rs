@@ -395,10 +395,9 @@ impl SortBuilder {
         };
         reg.run_time.record(run_watch.elapsed());
 
-        let metrics = report.metrics().clone();
-        let trace = report.trace().clone();
-        match report.into_outputs() {
-            Ok(outputs) => {
+        let (outcome, metrics, trace) = report.into_parts();
+        match outcome {
+            aoft_sim::Outcome::Completed(outputs) => {
                 let outputs = match self.direction {
                     SortDirection::Ascending => outputs,
                     SortDirection::Descending => outputs
@@ -418,7 +417,7 @@ impl SortBuilder {
                     trace,
                 })
             }
-            Err(reports) => {
+            aoft_sim::Outcome::FailStop { reports } => {
                 reg.sort_failstops.inc();
                 aoft_obs::emit(aoft_obs::Event::new("sort_failstop").job(self.job).detail(
                     format!(

@@ -22,8 +22,10 @@
 use aoft_hypercube::{NodeId, Subcube};
 use aoft_sim::{NodeCtx, Program, SimError};
 
+use crate::block::MergeScratch;
 use crate::predicates::{
-    bit_compare_cost, bit_compare_final, bit_compare_stage, phi_c, vect_mask, vect_mask_before,
+    bit_compare_cost, bit_compare_final_with, bit_compare_stage_with, phi_c, vect_mask_before_into,
+    vect_mask_into, PredicateScratch,
 };
 use crate::snr::local_sort_compares;
 use crate::{subcube_ascending, Block, LbsBuffer, Msg, Violation};
@@ -167,6 +169,19 @@ struct SftState {
     a: Block,
     lbs: LbsBuffer,
     llbs: LbsBuffer,
+    /// Reusable working memory for every predicate evaluation.
+    scratch: PredicateScratch,
+    /// Reusable merge buffer for every compare-exchange.
+    merge: MergeScratch,
+}
+
+/// Which holdings mask an incoming piggybacked array is checked against.
+#[derive(Clone, Copy)]
+enum Expect {
+    /// An initiating message: the sender's *pre*-exchange holdings.
+    Before,
+    /// A reply: the *post*-exchange union.
+    After,
 }
 
 impl SftState {
@@ -218,17 +233,40 @@ impl SftState {
     /// Applies Φ_C to one piggybacked array and charges its cost: Lemma 9's
     /// `O(2^{j+1} + 2^{i−j})` — the merge work plus the `vect_mask`
     /// evaluation.
+    ///
+    /// The sender's legitimate holdings are computed into the reusable
+    /// scratch mask, and adoption moves blocks out of `wire` — the whole
+    /// merge allocates nothing in steady state.
+    #[allow(clippy::too_many_arguments)]
     fn consume_lbs(
         &mut self,
         ctx: &mut NodeCtx<'_, Msg>,
-        wire: &crate::LbsWire,
-        sender_holdings: aoft_hypercube::NodeSet,
+        wire: &mut crate::LbsWire,
+        expect: Expect,
+        partner: NodeId,
+        schedule_stage: u32,
         report_stage: u32,
         step: u32,
     ) -> Result<(), SimError> {
-        ctx.charge_moves(sender_holdings.len());
+        match expect {
+            Expect::Before => vect_mask_before_into(
+                self.machine,
+                schedule_stage,
+                step,
+                partner,
+                self.scratch.mask_mut(),
+            ),
+            Expect::After => vect_mask_into(
+                self.machine,
+                schedule_stage,
+                step,
+                partner,
+                self.scratch.mask_mut(),
+            ),
+        }
+        ctx.charge_moves(self.scratch.mask.len());
         let watch = aoft_obs::Stopwatch::new();
-        let checked = phi_c(&mut self.lbs, wire, &sender_holdings, report_stage, step);
+        let checked = phi_c(&mut self.lbs, wire, &self.scratch.mask, report_stage, step);
         aoft_obs::record_predicate_check("phi_c", watch.elapsed());
         match checked {
             Ok(outcome) => {
@@ -253,28 +291,31 @@ impl SftState {
         if self.me.is_low_end(step) {
             // Partner initiates; its array reflects its pre-exchange
             // holdings.
-            let (data, wire) = self.recv_pair(ctx, partner, stage, step)?;
-            let expected = vect_mask_before(self.machine, stage, step, partner);
-            self.consume_lbs(ctx, &wire, expected, stage, step)?;
+            let (mut data, mut wire) = self.recv_pair(ctx, partner, stage, step)?;
+            self.consume_lbs(ctx, &mut wire, Expect::Before, partner, stage, stage, step)?;
             self.check_operand(ctx, &data, stage)?;
 
             let (compares, moves) = Block::merge_split_cost(self.m);
             ctx.charge_compares(compares);
             ctx.charge_moves(moves);
-            let (low, high) = self.a.merge_split(&data);
-            let (keep, send_back) = if ascending { (low, high) } else { (high, low) };
-            self.a = keep;
+            // In-place merge-split: `a` becomes the low half and the
+            // received block the high half, both reusing their storage.
+            self.a.merge_split_reuse(&mut data, &mut self.merge);
+            if !ascending {
+                std::mem::swap(&mut self.a, &mut data);
+            }
 
             // The reply carries the *updated* LBS: the merged union, which
             // lets the partner cross-check the entries it just sent us.
-            self.send_pair(ctx, partner, send_back, span)?;
+            self.send_pair(ctx, partner, data, span)?;
         } else {
-            let own = self.a.clone();
+            // `a` is rewritten from the reply below, so its current value
+            // can be moved straight into the outgoing message.
+            let own = std::mem::take(&mut self.a);
             self.send_pair(ctx, partner, own, span)?;
-            let (data, wire) = self.recv_pair(ctx, partner, stage, step)?;
+            let (data, mut wire) = self.recv_pair(ctx, partner, stage, step)?;
             // The reply reflects the post-exchange union.
-            let expected = vect_mask(self.machine, stage, step, partner);
-            self.consume_lbs(ctx, &wire, expected, stage, step)?;
+            self.consume_lbs(ctx, &mut wire, Expect::After, partner, stage, stage, step)?;
             self.check_operand(ctx, &data, stage)?;
             self.a = data;
         }
@@ -320,7 +361,7 @@ impl SftState {
         let report_stage = self.n;
         if self.me.is_low_end(step) {
             let msg = recv_checked(ctx, partner)?;
-            let wire = match msg {
+            let mut wire = match msg {
                 Msg::Lbs(lbs) => lbs,
                 _ => {
                     return Err(fail(
@@ -332,13 +373,20 @@ impl SftState {
                     ))
                 }
             };
-            let expected = vect_mask_before(self.machine, schedule_stage, step, partner);
-            self.consume_lbs(ctx, &wire, expected, report_stage, step)?;
+            self.consume_lbs(
+                ctx,
+                &mut wire,
+                Expect::Before,
+                partner,
+                schedule_stage,
+                report_stage,
+                step,
+            )?;
             ctx.send(partner, Msg::Lbs(self.lbs.to_wire(span)))?;
         } else {
             ctx.send(partner, Msg::Lbs(self.lbs.to_wire(span)))?;
             let msg = recv_checked(ctx, partner)?;
-            let wire = match msg {
+            let mut wire = match msg {
                 Msg::Lbs(lbs) => lbs,
                 _ => {
                     return Err(fail(
@@ -350,8 +398,15 @@ impl SftState {
                     ))
                 }
             };
-            let expected = vect_mask(self.machine, schedule_stage, step, partner);
-            self.consume_lbs(ctx, &wire, expected, report_stage, step)?;
+            self.consume_lbs(
+                ctx,
+                &mut wire,
+                Expect::After,
+                partner,
+                schedule_stage,
+                report_stage,
+                step,
+            )?;
         }
         Ok(())
     }
@@ -372,7 +427,7 @@ impl Program<Msg> for SftProgram {
         }
 
         let mut lbs = LbsBuffer::new(machine, m as u32);
-        lbs.reset_to_self(me, a.clone());
+        lbs.reset_to_self_with(me, &a);
         let llbs = lbs.snapshot();
         let mut state = SftState {
             me,
@@ -383,6 +438,8 @@ impl Program<Msg> for SftProgram {
             a,
             lbs,
             llbs,
+            scratch: PredicateScratch::for_machine(machine, m as u32),
+            merge: MergeScratch::for_block_len(m),
         };
 
         for stage in 0..n {
@@ -398,7 +455,8 @@ impl Program<Msg> for SftProgram {
             if stage > 0 {
                 ctx.charge_compares(bit_compare_cost(stage, state.m));
                 let watch = aoft_obs::Stopwatch::new();
-                let checked = bit_compare_stage(&state.lbs, &state.llbs, me, stage);
+                let checked =
+                    bit_compare_stage_with(&state.lbs, &state.llbs, me, stage, &mut state.scratch);
                 // bit_compare evaluates both Φ_P (bitonicity) and Φ_F
                 // (permutation) over the distributed sequence.
                 let reg = aoft_obs::global();
@@ -411,10 +469,12 @@ impl Program<Msg> for SftProgram {
             }
             aoft_obs::global().stage_time.record(stage_watch.elapsed());
             // LLBS := LBS; LBS := own value (Figure 3's copy loop + reset).
+            // Double-buffered: the old LLBS storage becomes the new LBS (its
+            // entries hidden by the cleared held-mask and reused in place),
+            // so the stage boundary performs no allocation.
             ctx.charge_moves(span.len() * state.m);
-            state.llbs = state.lbs.snapshot();
-            let own = state.a.clone();
-            state.lbs.reset_to_self(me, own);
+            std::mem::swap(&mut state.lbs, &mut state.llbs);
+            state.lbs.reset_to_self_with(me, &state.a);
         }
 
         // Final verification: pure exchange of the final LBS (Figure 3's
@@ -425,7 +485,7 @@ impl Program<Msg> for SftProgram {
         }
         ctx.charge_compares(bit_compare_cost(n - 1, state.m) * 2);
         let watch = aoft_obs::Stopwatch::new();
-        let checked = bit_compare_final(&state.lbs, &state.llbs, me, n);
+        let checked = bit_compare_final_with(&state.lbs, &state.llbs, me, n, &mut state.scratch);
         let reg = aoft_obs::global();
         reg.predicate_checks.add("phi_p", 1);
         reg.predicate_checks.add("phi_f", 1);

@@ -26,7 +26,7 @@ pub const FRAME_VERSION: u8 = 1;
 pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
 
 /// Bytes between the length field and the payload.
-const HEADER_LEN: usize = 6;
+pub const HEADER_LEN: usize = 6;
 
 /// What a frame carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,8 +58,8 @@ impl FrameKind {
     }
 }
 
-const fn crc_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+const fn crc_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -72,20 +72,48 @@ const fn crc_table() -> [u32; 256] {
             };
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    // tables[t][b] = crc of byte b followed by t zero bytes, so eight
+    // lookups can consume eight input bytes per step (slicing-by-8).
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
 }
 
-static CRC_TABLE: [u32; 256] = crc_table();
+static CRC_TABLES: [[u32; 256]; 8] = crc_tables();
 
-/// CRC-32 (IEEE 802.3) over the concatenation of the given parts.
+/// CRC-32 (IEEE 802.3) over the concatenation of the given parts,
+/// slicing-by-8: every frame is checksummed on both the encode and the
+/// decode hot path, so the checksum runs eight bytes per table step
+/// instead of one.
 pub fn crc32(parts: &[&[u8]]) -> u32 {
     let mut crc = !0u32;
     for part in parts {
-        for &byte in *part {
-            crc = (crc >> 8) ^ CRC_TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+        let mut chunks = part.chunks_exact(8);
+        for chunk in &mut chunks {
+            let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ crc;
+            let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+            crc = CRC_TABLES[7][(lo & 0xFF) as usize]
+                ^ CRC_TABLES[6][((lo >> 8) & 0xFF) as usize]
+                ^ CRC_TABLES[5][((lo >> 16) & 0xFF) as usize]
+                ^ CRC_TABLES[4][(lo >> 24) as usize]
+                ^ CRC_TABLES[3][(hi & 0xFF) as usize]
+                ^ CRC_TABLES[2][((hi >> 8) & 0xFF) as usize]
+                ^ CRC_TABLES[1][((hi >> 16) & 0xFF) as usize]
+                ^ CRC_TABLES[0][(hi >> 24) as usize];
+        }
+        for &byte in chunks.remainder() {
+            crc = (crc >> 8) ^ CRC_TABLES[0][((crc ^ byte as u32) & 0xFF) as usize];
         }
     }
     !crc
@@ -93,16 +121,54 @@ pub fn crc32(parts: &[&[u8]]) -> u32 {
 
 /// Encodes one complete frame, length prefix included.
 pub fn encode_frame(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + HEADER_LEN + payload.len());
+    encode_frame_into(kind, payload, &mut out);
+    out
+}
+
+/// Appends one complete frame to `out` without allocating a fresh buffer —
+/// the pooled-buffer variant of [`encode_frame`].
+pub fn encode_frame_into(kind: FrameKind, payload: &[u8], out: &mut Vec<u8>) {
+    encode_frame_with(kind, out, |buf| buf.extend_from_slice(payload));
+}
+
+/// Appends one complete frame to `out`, letting `write_payload` serialize
+/// the payload *directly into the frame buffer* — no intermediate payload
+/// `Vec`, no concatenation copy.
+///
+/// The length and CRC fields are written as placeholders, the payload is
+/// encoded in place, and both fields are patched afterwards; the CRC is
+/// computed over the split parts exactly as [`decode_frame_body`] checks it.
+pub fn encode_frame_with(
+    kind: FrameKind,
+    out: &mut Vec<u8>,
+    write_payload: impl FnOnce(&mut Vec<u8>),
+) {
+    let start = out.len();
+    out.extend_from_slice(&[0u8; 4]); // length, patched below
+    out.push(FRAME_VERSION);
+    out.push(kind.to_byte());
+    out.extend_from_slice(&[0u8; 4]); // crc, patched below
+    write_payload(out);
+    let len = (out.len() - start - 4) as u32;
+    let crc = crc32(&[&out[start + 4..start + 6], &out[start + 4 + HEADER_LEN..]]);
+    out[start..start + 4].copy_from_slice(&len.to_le_bytes());
+    out[start + 6..start + 10].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// The 10-byte wire header for a frame around `payload` —
+/// `[len][version][kind][crc]` — ready to travel ahead of the payload in a
+/// vectored write, so header and payload never get copied into one buffer.
+pub fn frame_header(kind: FrameKind, payload: &[u8]) -> [u8; 4 + HEADER_LEN] {
     let kind_byte = kind.to_byte();
     let crc = crc32(&[&[FRAME_VERSION, kind_byte], payload]);
     let len = (HEADER_LEN + payload.len()) as u32;
-    let mut out = Vec::with_capacity(4 + len as usize);
-    out.extend_from_slice(&len.to_le_bytes());
-    out.push(FRAME_VERSION);
-    out.push(kind_byte);
-    out.extend_from_slice(&crc.to_le_bytes());
-    out.extend_from_slice(payload);
-    out
+    let mut header = [0u8; 4 + HEADER_LEN];
+    header[..4].copy_from_slice(&len.to_le_bytes());
+    header[4] = FRAME_VERSION;
+    header[5] = kind_byte;
+    header[6..].copy_from_slice(&crc.to_le_bytes());
+    header
 }
 
 /// Decodes one frame from the front of `input`, advancing it past the
@@ -210,6 +276,28 @@ mod tests {
         assert_eq!(decode_frame(&mut input).unwrap().0, FrameKind::Heartbeat);
         assert_eq!(decode_frame(&mut input).unwrap().1, b"two");
         assert!(input.is_empty());
+    }
+
+    #[test]
+    fn in_place_framing_matches_encode_frame() {
+        let payload = b"zero copy payload";
+        let classic = encode_frame(FrameKind::Data, payload);
+        let mut buf = vec![0xAA; 3]; // an existing prefix must survive
+        encode_frame_with(FrameKind::Data, &mut buf, |out| {
+            out.extend_from_slice(payload);
+        });
+        assert_eq!(&buf[..3], &[0xAA; 3]);
+        assert_eq!(&buf[3..], classic.as_slice());
+    }
+
+    #[test]
+    fn split_header_matches_encode_frame() {
+        for kind in [FrameKind::Data, FrameKind::Heartbeat, FrameKind::Bye] {
+            let payload = b"vectored";
+            let mut frame = frame_header(kind, payload).to_vec();
+            frame.extend_from_slice(payload);
+            assert_eq!(frame, encode_frame(kind, payload));
+        }
     }
 
     #[test]

@@ -32,6 +32,7 @@ mod error;
 pub mod frame;
 mod inproc;
 mod link;
+pub mod pool;
 mod remap;
 mod tcp;
 pub mod wire;
@@ -43,6 +44,7 @@ pub use error::NetError;
 pub use frame::{FrameKind, FRAME_VERSION, MAX_FRAME_LEN};
 pub use inproc::InProc;
 pub use link::{LinkId, LinkRx, LinkTx, Transport};
+pub use pool::BufPool;
 pub use remap::MappedTransport;
 pub use tcp::{TcpConfig, TcpTransport};
 pub use wire::{CodecError, Wire};

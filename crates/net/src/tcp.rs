@@ -4,8 +4,11 @@
 //! and an acceptor thread routes each inbound connection to the right link
 //! by a 9-byte [`LinkId`] handshake. Each established link gets:
 //!
-//! * a **writer thread** — drains a command queue onto the socket, framing
-//!   payloads with [`encode_frame`]; while the queue is idle it emits
+//! * a **writer thread** — drains a command queue onto the socket; data
+//!   payloads arrive already serialized into pooled buffers
+//!   ([`crate::pool`]) with a precomputed [`frame_header`], and go out with
+//!   a vectored write (header + payload, no concatenation copy); while the
+//!   queue is idle it emits
 //!   heartbeat frames every `heartbeat_interval`, and it retries failed
 //!   writes with capped exponential [`Backoff`] before declaring the link
 //!   dead;
@@ -21,7 +24,7 @@
 //! consistency violation.
 
 use std::collections::HashMap;
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 use std::marker::PhantomData;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -33,8 +36,11 @@ use aoft_obs::LinkCounters;
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::{Condvar, Mutex};
 
-use crate::frame::{decode_frame_body, encode_frame, FrameKind, MAX_FRAME_LEN};
-use crate::wire::{from_bytes, to_bytes, Wire};
+use crate::frame::{
+    decode_frame_body, encode_frame, frame_header, FrameKind, HEADER_LEN, MAX_FRAME_LEN,
+};
+use crate::pool;
+use crate::wire::{from_bytes, Wire};
 use crate::{Backoff, CancelToken, LinkId, LinkRx, LinkTx, NetError, PollSlices, Transport};
 
 /// How long the reader blocks in one `read` call before re-checking the
@@ -247,8 +253,13 @@ impl<M: Wire + Send + 'static> Transport<M> for TcpTransport {
 }
 
 enum TxCmd {
-    /// A fully framed payload, encoded on the sender's thread.
-    Data(Vec<u8>),
+    /// A frame split as header plus pooled payload, encoded once on the
+    /// sender's thread and written with a vectored write — no concatenation
+    /// copy, and the payload buffer returns to the pool after the write.
+    Frame {
+        header: [u8; 4 + HEADER_LEN],
+        payload: pool::Lease<'static>,
+    },
     /// Orderly close.
     Bye,
 }
@@ -264,9 +275,11 @@ impl<M: Wire + Send> LinkTx<M> for TcpTx<M> {
         if self.dead.load(Ordering::Acquire) {
             return Err(NetError::Closed);
         }
-        let frame = encode_frame(FrameKind::Data, &to_bytes(&msg));
+        let mut payload = pool::global().lease();
+        msg.encode(&mut payload);
+        let header = frame_header(FrameKind::Data, &payload);
         self.commands
-            .send(TxCmd::Data(frame))
+            .send(TxCmd::Frame { header, payload })
             .map_err(|_| NetError::Closed)
     }
 
@@ -285,12 +298,14 @@ fn writer_loop(
     let heartbeat = encode_frame(FrameKind::Heartbeat, &[]);
     loop {
         match queue.recv_timeout(config.heartbeat_interval) {
-            Ok(TxCmd::Data(frame)) => {
-                if write_with_retry(stream, &frame, config, counters).is_err() {
+            Ok(TxCmd::Frame { header, payload }) => {
+                if write_with_retry(stream, &header, &payload, config, counters).is_err() {
                     dead.store(true, Ordering::Release);
                     return;
                 }
-                counters.bytes_sent.add(frame.len() as u64);
+                counters
+                    .bytes_sent
+                    .add((header.len() + payload.len()) as u64);
             }
             Ok(TxCmd::Bye) | Err(RecvTimeoutError::Disconnected) => {
                 let _ = stream.write_all(&encode_frame(FrameKind::Bye, &[]));
@@ -317,14 +332,15 @@ fn writer_loop(
 /// need not be masked, only never silent.
 fn write_with_retry(
     stream: &mut TcpStream,
-    frame: &[u8],
+    header: &[u8],
+    payload: &[u8],
     config: &TcpConfig,
     counters: &LinkCounters,
 ) -> io::Result<()> {
     let mut backoff = Backoff::new(config.initial_backoff, config.max_backoff);
     let mut attempts = 0u32;
     loop {
-        match stream.write_all(frame).and_then(|()| stream.flush()) {
+        match write_split_frame(stream, header, payload).and_then(|()| stream.flush()) {
             Ok(()) => return Ok(()),
             Err(err) => {
                 attempts += 1;
@@ -336,6 +352,30 @@ fn write_with_retry(
             }
         }
     }
+}
+
+/// Writes `header` then `payload` onto the stream with vectored writes —
+/// the frame is never concatenated into one buffer. A manual byte offset
+/// tracks progress across short writes (the two slices are rebuilt from it,
+/// keeping the loop on APIs available at the crate's MSRV).
+fn write_split_frame(stream: &mut TcpStream, header: &[u8], payload: &[u8]) -> io::Result<()> {
+    let total = header.len() + payload.len();
+    let mut written = 0usize;
+    while written < total {
+        let n = if written < header.len() {
+            stream.write_vectored(&[IoSlice::new(&header[written..]), IoSlice::new(payload)])?
+        } else {
+            stream.write(&payload[written - header.len()..])?
+        };
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "socket accepted no bytes",
+            ));
+        }
+        written += n;
+    }
+    Ok(())
 }
 
 struct TcpRx<M> {
@@ -503,6 +543,7 @@ fn drain_frames<M: Wire>(acc: &mut Vec<u8>, events: &Sender<Result<M, NetError>>
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wire::to_bytes;
 
     fn fast_config() -> TcpConfig {
         TcpConfig {

@@ -67,7 +67,13 @@ pub fn from_bytes<T: Wire>(bytes: &[u8]) -> Result<T, CodecError> {
     Ok(value)
 }
 
-fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], CodecError> {
+/// Splits the next `n` bytes off the front of `input`, advancing it — the
+/// borrow primitive zero-copy decoders are built from.
+///
+/// # Errors
+///
+/// [`CodecError`] if fewer than `n` bytes remain; `input` is unchanged.
+pub fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], CodecError> {
     if input.len() < n {
         return Err(CodecError::msg(format!(
             "truncated: need {n} bytes, have {}",

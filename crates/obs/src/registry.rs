@@ -159,6 +159,14 @@ pub struct Registry {
     pub error_reports: Counter,
 
     // --- transport (aoft-net) ---
+    /// Wire-buffer leases served by the shared pool.
+    pub buf_pool_leases: Counter,
+    /// Wire buffers currently leased out of the pool.
+    pub buf_pool_outstanding: Gauge,
+    /// Most wire buffers ever leased out simultaneously.
+    pub buf_pool_high_water: Gauge,
+    /// Bytes of idle capacity the pool retains for reuse.
+    pub buf_pool_retained_bytes: Gauge,
     /// Frame bytes written per link (data + heartbeats).
     pub net_bytes_sent: Family,
     /// Bytes read from the socket per link.
@@ -194,6 +202,10 @@ impl Registry {
             sort_failstops: Counter::default(),
             run_time: Histogram::new(),
             error_reports: Counter::default(),
+            buf_pool_leases: Counter::default(),
+            buf_pool_outstanding: Gauge::default(),
+            buf_pool_high_water: Gauge::default(),
+            buf_pool_retained_bytes: Gauge::default(),
             net_bytes_sent: Family::new("link"),
             net_bytes_received: Family::new("link"),
             net_send_retries: Family::new("link"),
@@ -325,6 +337,30 @@ impl Registry {
             "aoft_error_reports_total",
             "ERROR reports delivered to the host.",
             &self.error_reports,
+        );
+        counter(
+            &mut out,
+            "aoft_buf_pool_leases_total",
+            "Wire-buffer leases served by the shared pool.",
+            &self.buf_pool_leases,
+        );
+        gauge(
+            &mut out,
+            "aoft_buf_pool_outstanding",
+            "Wire buffers currently leased out of the pool.",
+            &self.buf_pool_outstanding,
+        );
+        gauge(
+            &mut out,
+            "aoft_buf_pool_high_water",
+            "Most wire buffers ever leased out simultaneously.",
+            &self.buf_pool_high_water,
+        );
+        gauge(
+            &mut out,
+            "aoft_buf_pool_retained_bytes",
+            "Bytes of idle capacity the pool retains for reuse.",
+            &self.buf_pool_retained_bytes,
         );
         family(
             &mut out,

@@ -95,6 +95,12 @@ impl<T> RunReport<T> {
     pub fn trace(&self) -> &Trace {
         &self.trace
     }
+
+    /// Consumes the report, yielding outcome, metrics and trace as owned
+    /// values — for callers that keep all three, without cloning any.
+    pub fn into_parts(self) -> (Outcome<T>, RunMetrics, Trace) {
+        (self.outcome, self.metrics, self.trace)
+    }
 }
 
 /// The simulated multicomputer: topology, configuration and the medium its

@@ -1,0 +1,11 @@
+//! Helpers shared across the integration-test binaries.
+#![allow(dead_code)] // not every test binary uses every helper
+
+/// A sorted copy of `keys` — the expected output every sort run is checked
+/// against. Hoisted here so individual tests don't each re-spell the
+/// clone-and-sort dance.
+pub fn sorted(keys: &[i32]) -> Vec<i32> {
+    let mut expected = keys.to_vec();
+    expected.sort_unstable();
+    expected
+}

@@ -4,6 +4,8 @@
 //! cross product is enumerable — a complete check of Theorem 3 at this
 //! size, not a statistical one.
 
+mod common;
+
 use std::time::Duration;
 
 use aoft::faults::{FaultKind, FaultPlan, Trigger};
@@ -20,8 +22,7 @@ fn keys() -> Vec<i32> {
 }
 
 fn outcome(plan: FaultPlan) -> Result<bool, String> {
-    let mut expected = keys();
-    expected.sort_unstable();
+    let expected = common::sorted(&keys());
     match SortBuilder::new(Algorithm::FaultTolerant)
         .keys(keys())
         .fault_plan(plan)
@@ -91,8 +92,7 @@ fn exhaustive_triple_fault_sweep_on_dim3() {
     // wrong line empirically (the theorem's bound is about guaranteed
     // detection, not about when escapes begin).
     let keys: Vec<i32> = (0..8).map(|x| (x * 41 + 3) % 29).collect();
-    let mut expected = keys.clone();
-    expected.sort_unstable();
+    let expected = common::sorted(&keys);
     let mut escapes = Vec::new();
     for a in 0..6u32 {
         for b in (a + 1)..7 {

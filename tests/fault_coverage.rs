@@ -3,6 +3,8 @@
 //! fail-stops — across fault classes, locations, triggers and fault counts
 //! it never silently returns a wrong result.
 
+mod common;
+
 use std::time::Duration;
 
 use aoft::faults::{FaultKind, FaultPlan, Trigger};
@@ -18,8 +20,7 @@ enum Outcome {
 }
 
 fn sft_outcome(plan: FaultPlan, keys: &[i32]) -> Outcome {
-    let mut expected = keys.to_vec();
-    expected.sort_unstable();
+    let expected = common::sorted(keys);
     let result = SortBuilder::new(Algorithm::FaultTolerant)
         .keys(keys.to_vec())
         .fault_plan(plan)

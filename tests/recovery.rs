@@ -1,6 +1,8 @@
 //! End-to-end recovery workflow: detect → diagnose → retry, the
 //! "appropriate actions" loop the paper's diagnostic delivery enables.
 
+mod common;
+
 use std::time::Duration;
 
 use aoft::faults::{FaultKind, FaultPlan, Trigger};
@@ -46,9 +48,8 @@ fn detect_diagnose_retry_loop() {
         );
     }
 
-    let mut expected: Vec<i32> = (0..16).map(|x| (x * 97 + 13) % 61).collect();
-    expected.sort_unstable();
-    assert_eq!(retry.report.output(), expected);
+    let keys: Vec<i32> = (0..16).map(|x| (x * 97 + 13) % 61).collect();
+    assert_eq!(retry.report.output(), common::sorted(&keys));
 }
 
 #[test]
@@ -88,8 +89,8 @@ fn delayed_messages_never_produce_wrong_output() {
     // The Delayer either stays harmless (late but FIFO-consistent delivery)
     // or trips a timeout/protocol check — both acceptable, wrong output is
     // not.
-    let mut expected: Vec<i32> = (0..16).map(|x| (x * 97 + 13) % 61).collect();
-    expected.sort_unstable();
+    let keys: Vec<i32> = (0..16).map(|x| (x * 97 + 13) % 61).collect();
+    let expected = common::sorted(&keys);
     for node in 0..16u32 {
         for from in 1..5u64 {
             let plan = FaultPlan::new().with_fault(

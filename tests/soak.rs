@@ -8,6 +8,8 @@
 //! (`cargo test --release --test soak -- --ignored`). Override the
 //! duration with `AOFT_SOAK_SECS`.
 
+mod common;
+
 use std::time::{Duration, Instant};
 
 use aoft::faults::{periodic_fault_stream, FaultKind};
@@ -60,8 +62,7 @@ fn drive_stream(service: &SortService<aoft::sim::InProc>, jobs: usize, salt: i64
         let report = handle
             .wait()
             .unwrap_or_else(|err| panic!("{label} job must complete loudly or not at all: {err}"));
-        let mut expected = keys;
-        expected.sort_unstable();
+        let expected = common::sorted(&keys);
         assert_eq!(
             report.output, expected,
             "{label} job delivered a silently wrong result"

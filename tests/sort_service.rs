@@ -2,6 +2,8 @@
 //! over loopback TCP surviving a mid-stream node death with zero silent
 //! corruption.
 
+mod common;
+
 use std::time::Duration;
 
 use aoft::faults::{FaultyTransport, LinkFault};
@@ -21,12 +23,6 @@ fn job_keys(salt: i64) -> Vec<i32> {
     (0..32i64)
         .map(|x| (((x + salt).wrapping_mul(2_654_435_761)) % 997) as i32)
         .collect()
-}
-
-fn sorted(keys: &[i32]) -> Vec<i32> {
-    let mut expected = keys.to_vec();
-    expected.sort_unstable();
-    expected
 }
 
 /// The PR's acceptance demo: 32 jobs over loopback TCP on a d=3 cube, node
@@ -60,7 +56,7 @@ fn service_survives_mid_stream_node_death_over_tcp() {
             .unwrap_or_else(|err| panic!("job {index} failed loudly: {err}"));
         assert_eq!(
             report.output,
-            sorted(&keys),
+            common::sorted(&keys),
             "job {index}: silently wrong output"
         );
     }
@@ -113,7 +109,7 @@ fn concurrent_workers_share_one_tcp_cube() {
         .collect();
     for (keys, handle) in handles {
         let report = handle.wait().expect("concurrent job completes");
-        assert_eq!(report.output, sorted(&keys));
+        assert_eq!(report.output, common::sorted(&keys));
     }
     let metrics = service.metrics();
     assert_eq!(metrics.jobs_completed, 16);
@@ -188,7 +184,7 @@ fn metrics_endpoint_serves_prometheus_exposition() {
     aoft::obs::prom::parse_samples(&live).expect("mid-stream exposition parses");
     for (keys, handle) in handles {
         let report = handle.wait().expect("faulted stream still completes");
-        assert_eq!(report.output, sorted(&keys));
+        assert_eq!(report.output, common::sorted(&keys));
     }
 
     let text = aoft::obs::scrape(addr).expect("endpoint answers at end of run");
@@ -213,6 +209,10 @@ fn metrics_endpoint_serves_prometheus_exposition() {
         "aoft_net_bytes_received_total",
         "aoft_net_heartbeat_misses_total",
         "aoft_net_peer_dead_total",
+        "aoft_buf_pool_leases_total",
+        "aoft_buf_pool_outstanding",
+        "aoft_buf_pool_high_water",
+        "aoft_buf_pool_retained_bytes",
     ] {
         assert!(families.contains(required), "missing family {required}");
     }
@@ -244,7 +244,7 @@ fn shutdown_is_loud() {
     let handle = service.submit(JobSpec::new(job_keys(7))).expect("admit");
     service.shutdown();
     match handle.wait() {
-        Ok(report) => assert_eq!(report.output, sorted(&job_keys(7))),
+        Ok(report) => assert_eq!(report.output, common::sorted(&job_keys(7))),
         Err(err) => assert!(matches!(err, JobError::Stopped)),
     }
 }

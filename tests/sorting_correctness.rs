@@ -1,14 +1,10 @@
 //! Cross-crate correctness: every algorithm sorts every input shape, with
 //! property-based coverage over keys, machine sizes and block sizes.
 
+mod common;
+
 use aoft::sort::{Algorithm, SortBuilder};
 use proptest::prelude::*;
-
-fn sorted_copy(keys: &[i32]) -> Vec<i32> {
-    let mut expected = keys.to_vec();
-    expected.sort_unstable();
-    expected
-}
 
 fn run(algorithm: Algorithm, keys: Vec<i32>, nodes: usize) -> Vec<i32> {
     SortBuilder::new(algorithm)
@@ -33,7 +29,7 @@ proptest! {
         let keys = keys_from_seed(nodes * m, seed);
         prop_assert_eq!(
             run(Algorithm::NonRedundant, keys.clone(), nodes),
-            sorted_copy(&keys)
+            common::sorted(&keys)
         );
     }
 
@@ -47,7 +43,7 @@ proptest! {
         let keys = keys_from_seed(nodes * m, seed);
         prop_assert_eq!(
             run(Algorithm::FaultTolerant, keys.clone(), nodes),
-            sorted_copy(&keys)
+            common::sorted(&keys)
         );
     }
 
@@ -60,11 +56,11 @@ proptest! {
         let keys = keys_from_seed(nodes * 3, seed);
         prop_assert_eq!(
             run(Algorithm::HostSequential, keys.clone(), nodes),
-            sorted_copy(&keys)
+            common::sorted(&keys)
         );
         prop_assert_eq!(
             run(Algorithm::HostVerified, keys.clone(), nodes),
-            sorted_copy(&keys)
+            common::sorted(&keys)
         );
     }
 
@@ -99,7 +95,7 @@ fn keys_from_seed(len: usize, seed: u64) -> Vec<i32> {
 #[test]
 fn extreme_values_survive() {
     let keys = vec![i32::MAX, i32::MIN, 0, -1, 1, i32::MAX, i32::MIN, 0];
-    let expected = sorted_copy(&keys);
+    let expected = common::sorted(&keys);
     for algorithm in Algorithm::ALL {
         assert_eq!(
             run(algorithm, keys.clone(), keys.len()),
@@ -131,7 +127,7 @@ fn single_node_all_algorithms() {
 #[test]
 fn larger_machine_with_blocks() {
     let keys: Vec<i32> = (0..512).map(|x| (x * 48_271) % 1_000 - 500).collect();
-    let expected = sorted_copy(&keys);
+    let expected = common::sorted(&keys);
     assert_eq!(run(Algorithm::FaultTolerant, keys.clone(), 64), expected);
     assert_eq!(run(Algorithm::NonRedundant, keys, 64), expected);
 }

@@ -4,6 +4,8 @@
 //! The largest run is `#[ignore]`d by default (it spawns 1024 OS threads);
 //! run it explicitly with `cargo test --release -- --ignored`.
 
+mod common;
+
 use std::time::Duration;
 
 use aoft::sort::{Algorithm, SortBuilder};
@@ -12,8 +14,7 @@ fn run(algorithm: Algorithm, nodes: usize, m: usize) -> aoft::sort::SortReport {
     let keys: Vec<i32> = (0..(nodes * m) as i64)
         .map(|x| ((x.wrapping_mul(2654435761)) % 65_536 - 32_768) as i32)
         .collect();
-    let mut expected = keys.clone();
-    expected.sort_unstable();
+    let expected = common::sorted(&keys);
     let report = SortBuilder::new(algorithm)
         .keys(keys)
         .nodes(nodes)

@@ -2,6 +2,8 @@
 //! verifying that *each* executable assertion actually carries its weight —
 //! not just that "something" fires eventually.
 
+mod common;
+
 use std::time::Duration;
 
 use aoft::hypercube::{Hypercube, NodeId};
@@ -151,8 +153,7 @@ fn planted_entries_outside_vect_mask_are_ignored() {
     // wire, decides what counts.
     let nodes = 8;
     let keys: Vec<i32> = (0..nodes as i32).map(|x| (x * 37 + 11) % 101).collect();
-    let mut expected = keys.clone();
-    expected.sort_unstable();
+    let expected = common::sorted(&keys);
     let mut advs = AdversarySet::honest(nodes);
     advs.install(NodeId::new(2), Box::new(Planter));
     let program = SftProgram::new(block::distribute(&keys, nodes));

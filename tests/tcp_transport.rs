@@ -2,6 +2,8 @@
 //! schedule over real loopback TCP, clean and under a transport-level
 //! peer kill.
 
+mod common;
+
 use std::time::{Duration, Instant};
 
 use aoft::faults::{FaultyTransport, LinkFault};
@@ -24,8 +26,7 @@ fn builder(keys: Vec<i32>) -> SortBuilder {
 fn sft_sorts_d3_cube_over_loopback_tcp() {
     let keys: Vec<i32> = (0..32i32).map(|x| x.wrapping_mul(-97) % 50).collect();
     let report = builder(keys.clone()).run_on(tcp()).expect("clean TCP run");
-    let mut expected = keys;
-    expected.sort_unstable();
+    let expected = common::sorted(&keys);
     assert_eq!(report.output(), expected.as_slice());
     assert_eq!(report.blocks().len(), 8, "d=3 cube has 8 nodes");
 }
@@ -66,8 +67,7 @@ fn snr_also_runs_over_tcp() {
         .recv_timeout(Duration::from_millis(800))
         .run_on(tcp())
         .expect("clean S_NR TCP run");
-    let mut expected = keys;
-    expected.sort_unstable();
+    let expected = common::sorted(&keys);
     assert_eq!(report.output(), expected.as_slice());
 }
 
@@ -126,8 +126,7 @@ fn retry_over_fresh_tcp_transports_recovers_with_diagnoses() {
             "diagnosis must localize the fault to a candidate region: {diagnosis}"
         );
     }
-    let mut expected = keys;
-    expected.sort_unstable();
+    let expected = common::sorted(&keys);
     assert_eq!(retry.report.output(), expected.as_slice());
 }
 

@@ -2,6 +2,8 @@
 //! identically (same schedule, same message counts, same virtual time up to
 //! data-independent costs) on every distribution.
 
+mod common;
+
 use aoft::models::workload::Workload;
 use aoft::sort::{Algorithm, SortBuilder};
 
@@ -16,8 +18,7 @@ fn run(algorithm: Algorithm, keys: Vec<i32>) -> aoft::sort::SortReport {
 fn every_workload_sorts_on_every_algorithm() {
     for workload in Workload::ALL {
         let keys = workload.generate(32, 0xABCD);
-        let mut expected = keys.clone();
-        expected.sort_unstable();
+        let expected = common::sorted(&keys);
         for algorithm in Algorithm::ALL {
             let report = run(algorithm, keys.clone());
             assert_eq!(report.output(), expected, "{algorithm} on {workload}");
@@ -47,8 +48,7 @@ fn schedule_is_oblivious_to_data() {
 fn block_workloads_sort() {
     for workload in Workload::ALL {
         let keys = workload.generate(128, 5);
-        let mut expected = keys.clone();
-        expected.sort_unstable();
+        let expected = common::sorted(&keys);
         let report = SortBuilder::new(Algorithm::FaultTolerant)
             .keys(keys)
             .nodes(8)
