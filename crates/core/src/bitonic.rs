@@ -96,12 +96,41 @@ pub fn is_circular_bitonic(seq: &[Key]) -> bool {
 }
 
 /// `true` if `seq` is sorted in the given direction.
+///
+/// The scan is chunked: each 64-element window accumulates its comparisons
+/// branch-free (`ok &= prev <= next`), which the compiler turns into SIMD
+/// compares, and the chunk boundary gives early exit on unsorted input. The
+/// predicates run this over every collected subcube each stage (Lemma 8's
+/// `O(2^i · m)` term), so the large-`m` throughput matters.
 pub fn is_monotone(seq: &[Key], ascending: bool) -> bool {
     if ascending {
-        seq.windows(2).all(|w| w[0] <= w[1])
+        monotone_by(seq, |prev, next| prev <= next)
     } else {
-        seq.windows(2).all(|w| w[0] >= w[1])
+        monotone_by(seq, |prev, next| prev >= next)
     }
+}
+
+#[inline(always)]
+fn monotone_by(seq: &[Key], in_order: impl Fn(Key, Key) -> bool) -> bool {
+    const CHUNK: usize = 64;
+    let mut i = 1;
+    while i + CHUNK <= seq.len() {
+        let mut ok = true;
+        for k in 0..CHUNK {
+            ok &= in_order(seq[i + k - 1], seq[i + k]);
+        }
+        if !ok {
+            return false;
+        }
+        i += CHUNK;
+    }
+    while i < seq.len() {
+        if !in_order(seq[i - 1], seq[i]) {
+            return false;
+        }
+        i += 1;
+    }
+    true
 }
 
 /// One parallel compare-exchange sweep of Lemma 1 applied in place:

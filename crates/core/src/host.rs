@@ -13,15 +13,13 @@
 //! Both make the host a bottleneck and pay `O(N)` transfer, which is what
 //! the projections of Figures 6–8 show `S_FT` escaping.
 
-use aoft_sim::{
-    AdversarySet, Engine, HostCtx, NodeCtx, Packet, Program, RunReport, SimError, Transport,
-};
+use aoft_sim::{AdversarySet, HostCtx, NodeCtx, Program, RunReport, SimError, Simulator};
 
 use crate::snr::take_data;
 use crate::theorem1;
 use crate::{block, Block, Key, Msg, SnrProgram, Violation};
 
-fn check_blocks<T>(blocks: &[Block], engine: &Engine<T>) {
+fn check_blocks<E: Simulator<Msg>>(blocks: &[Block], engine: &E) {
     assert_eq!(
         blocks.len(),
         engine.cube().len(),
@@ -74,10 +72,7 @@ impl Program<Msg> for UploadDownload {
 /// assert_eq!(block::collect(&outputs), vec![1, 2, 3, 4]);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn sequential<T: Transport<Packet<Msg>>>(
-    engine: &Engine<T>,
-    blocks: Vec<Block>,
-) -> RunReport<Block> {
+pub fn sequential<E: Simulator<Msg>>(engine: &E, blocks: Vec<Block>) -> RunReport<Block> {
     check_blocks(&blocks, engine);
     let nodes = engine.cube().len();
     let m = blocks[0].len();
@@ -142,8 +137,8 @@ impl Program<Msg> for SortAndUpload {
 ///
 /// Panics if `blocks` does not supply exactly one equally-sized, non-empty
 /// block per node.
-pub fn verified<T: Transport<Packet<Msg>>>(
-    engine: &Engine<T>,
+pub fn verified<E: Simulator<Msg>>(
+    engine: &E,
     blocks: Vec<Block>,
     adversaries: AdversarySet<Msg>,
 ) -> RunReport<Block> {
@@ -198,7 +193,7 @@ pub fn sorted_keys(report: RunReport<Block>) -> Vec<Key> {
 #[cfg(test)]
 mod tests {
     use aoft_hypercube::{Hypercube, NodeId};
-    use aoft_sim::{CostModel, SimConfig};
+    use aoft_sim::{CostModel, Engine, SimConfig};
 
     use super::*;
 

@@ -96,8 +96,12 @@ impl LbsBuffer {
     }
 
     /// `true` if every entry of `span` is held.
+    ///
+    /// A subcube is a contiguous label range, so this is one word-masked
+    /// scan of the held mask rather than a per-node probe loop.
     pub fn covers(&self, span: Subcube) -> bool {
-        span.iter().all(|node| self.holds(node))
+        let start = span.start().index();
+        self.held.contains_range(start..start + span.len())
     }
 
     /// Drops everything and re-seeds with this node's own entry — the

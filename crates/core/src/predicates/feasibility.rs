@@ -35,17 +35,52 @@ pub fn is_merge_of(target: &[Key], a: &[Key], b: &[Key]) -> bool {
     if target.len() != a.len() + b.len() {
         return false;
     }
-    let (mut l, mut u) = (0, 0);
-    for &t in target {
-        if l < a.len() && a[l] == t {
-            l += 1;
-        } else if u < b.len() && b[u] == t {
+    let (mut i, mut l, mut u) = (0, 0, 0);
+    loop {
+        // The walk consumes from `a` exactly along the common prefix of the
+        // remaining target and the remaining run, so the prefix scan below
+        // (chunked, branch-free) is the greedy loop in bulk.
+        let j = common_prefix(&target[i..], &a[l..]);
+        i += j;
+        l += j;
+        if i == target.len() {
+            return true; // lengths matched up front, so both runs are spent
+        }
+        if l == a.len() {
+            // Only `b` can supply the rest: it must match verbatim.
+            return target[i..] == b[u..];
+        }
+        // `a` cannot supply `target[i]`; it must come from `b`.
+        if u < b.len() && b[u] == target[i] {
             u += 1;
+            i += 1;
         } else {
             return false;
         }
     }
-    true
+}
+
+/// Length of the longest common prefix of `x` and `y`, scanned in
+/// 16-element branch-free chunks so the compiler vectorizes the equality
+/// tests; the scalar tail resolves the exact mismatch position.
+fn common_prefix(x: &[Key], y: &[Key]) -> usize {
+    const CHUNK: usize = 16;
+    let n = x.len().min(y.len());
+    let mut i = 0;
+    while i + CHUNK <= n {
+        let mut eq = true;
+        for k in 0..CHUNK {
+            eq &= x[i + k] == y[i + k];
+        }
+        if !eq {
+            break;
+        }
+        i += CHUNK;
+    }
+    while i < n && x[i] == y[i] {
+        i += 1;
+    }
+    i
 }
 
 /// Φ_F at the end of stage `stage`: the new sequence (`lbs`) over `span`

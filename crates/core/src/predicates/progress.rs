@@ -8,30 +8,27 @@
 //! After the final pure-exchange stage the full sequence must simply be
 //! sorted.
 //!
-//! Checks operate on the block-granular flattening: a subcube's entries
-//! flatten to one ascending key sequence exactly when every block is
-//! internally sorted *and* consecutive blocks are ordered in the subcube's
-//! direction — so a single `is_sorted` scan checks both at once, in the
-//! `O(2^i)` time of Lemma 8.
+//! Checks operate at block granularity: a subcube's entries flatten to one
+//! ascending key sequence exactly when every block is internally sorted
+//! *and* consecutive blocks (taken in the subcube's direction) are ordered
+//! across their boundary. The walk checks both in place, block by block, in
+//! the `O(2^i)` time of Lemma 8 — no flattened copy is ever built.
 
 use aoft_hypercube::{NodeId, Subcube};
 
 use super::PredicateScratch;
-use crate::{subcube_ascending, LbsBuffer, Violation};
+use crate::{subcube_ascending, Key, LbsBuffer, Violation};
 
-/// Flattens `span` into `out` (honouring the subcube's sort direction, as
-/// [`LbsBuffer::flatten_ascending_into`]) while validating each entry —
-/// present, exactly `m` keys — in the same pass, so Φ_P touches every node
-/// of the span once.
-fn flatten_checked(
-    buf: &LbsBuffer,
-    span: Subcube,
-    stage: u32,
-    out: &mut Vec<crate::Key>,
-) -> Result<(), Violation> {
-    out.clear();
-    out.reserve(span.len() * buf.block_len() as usize);
-    let push = |node: NodeId| -> Result<(), Violation> {
+/// Walks the blocks of `span` in flatten order (honouring the subcube's
+/// sort direction, as [`LbsBuffer::flatten_ascending_into`]) and checks that
+/// the flattening *would be* ascending — each entry present with exactly
+/// `m` keys, each block internally sorted, and consecutive blocks ordered
+/// across the boundary — without materializing the flattened sequence. This
+/// keeps Φ_P inside Lemma 8's `O(2^i · m)` scan while eliminating the
+/// `2^i · m`-key copy the flattening form paid per check.
+fn walk_sorted(buf: &LbsBuffer, span: Subcube, stage: u32) -> Result<(), Violation> {
+    let mut prev_last: Option<Key> = None;
+    let mut check = |node: NodeId| -> Result<(), Violation> {
         let block = buf
             .get(node)
             .ok_or(Violation::IncompleteSequence { stage, entry: node })?;
@@ -42,13 +39,24 @@ fn flatten_checked(
                 got: block.len() as u32,
             });
         }
-        out.extend_from_slice(block.keys());
+        let keys = block.keys();
+        if !crate::bitonic::is_monotone(keys, true) {
+            return Err(Violation::NonBitonic { stage });
+        }
+        if let (Some(prev), Some(&first)) = (prev_last, keys.first()) {
+            if prev > first {
+                return Err(Violation::NonBitonic { stage });
+            }
+        }
+        if let Some(&last) = keys.last() {
+            prev_last = Some(last);
+        }
         Ok(())
     };
     if subcube_ascending(span) {
-        span.iter().try_for_each(push)
+        span.iter().try_for_each(&mut check)
     } else {
-        span.iter().rev().try_for_each(push)
+        span.iter().rev().try_for_each(&mut check)
     }
 }
 
@@ -70,9 +78,9 @@ pub fn phi_p_stage(buf: &LbsBuffer, span: Subcube, stage: u32) -> Result<(), Vio
     phi_p_stage_with(buf, span, stage, &mut PredicateScratch::new())
 }
 
-/// [`phi_p_stage`] flattening through caller-owned scratch — the hot-path
-/// form: with a warmed-up [`PredicateScratch`] the check performs no heap
-/// allocation.
+/// [`phi_p_stage`] in the hot-path calling convention shared with the other
+/// predicates. Φ_P checks blocks in place and needs no scratch storage; the
+/// parameter keeps the `bit_compare` call sites uniform.
 ///
 /// # Errors
 ///
@@ -85,16 +93,11 @@ pub fn phi_p_stage_with(
     buf: &LbsBuffer,
     span: Subcube,
     stage: u32,
-    scratch: &mut PredicateScratch,
+    _scratch: &mut PredicateScratch,
 ) -> Result<(), Violation> {
     let (low, high) = span.halves();
-    for half in [low, high] {
-        flatten_checked(buf, half, stage, &mut scratch.target)?;
-        if !crate::bitonic::is_monotone(&scratch.target, true) {
-            return Err(Violation::NonBitonic { stage });
-        }
-    }
-    Ok(())
+    walk_sorted(buf, low, stage)?;
+    walk_sorted(buf, high, stage)
 }
 
 /// Φ_P after the final verification stage: the full output over `span`
@@ -111,7 +114,8 @@ pub fn phi_p_final(buf: &LbsBuffer, span: Subcube, stage: u32) -> Result<(), Vio
     phi_p_final_with(buf, span, stage, &mut PredicateScratch::new())
 }
 
-/// [`phi_p_final`] flattening through caller-owned scratch.
+/// [`phi_p_final`] in the hot-path calling convention; as with
+/// [`phi_p_stage_with`] the scratch is unused — the walk is in place.
 ///
 /// # Errors
 ///
@@ -120,13 +124,9 @@ pub fn phi_p_final_with(
     buf: &LbsBuffer,
     span: Subcube,
     stage: u32,
-    scratch: &mut PredicateScratch,
+    _scratch: &mut PredicateScratch,
 ) -> Result<(), Violation> {
-    flatten_checked(buf, span, stage, &mut scratch.target)?;
-    if !crate::bitonic::is_monotone(&scratch.target, true) {
-        return Err(Violation::NonBitonic { stage });
-    }
-    Ok(())
+    walk_sorted(buf, span, stage)
 }
 
 #[cfg(test)]

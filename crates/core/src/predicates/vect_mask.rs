@@ -56,14 +56,18 @@ pub fn vect_mask_into(nodes: usize, stage: u32, step: u32, node: NodeId, out: &m
     );
     reset_mask(out, nodes);
     let dims = stage - step + 1;
-    for subset in 0u32..(1 << dims) {
-        let mut label = node.raw();
-        for bit in 0..dims {
-            if subset >> bit & 1 == 1 {
-                label ^= 1 << (step + bit);
-            }
+    let span = 1u32 << dims;
+    // The reachable labels are node with bits step..=stage replaced by every
+    // possible pattern: `base | (j << step)` for j in 0..2^dims. With
+    // step = 0 (the end of every stage) that is a contiguous label range,
+    // filled by whole-word masking instead of bit-at-a-time inserts.
+    let base = node.raw() & !((span - 1) << step);
+    if step == 0 {
+        out.insert_range(base as usize..(base + span) as usize);
+    } else {
+        for j in 0..span {
+            out.insert(NodeId::new(base | (j << step)));
         }
-        out.insert(NodeId::new(label));
     }
 }
 

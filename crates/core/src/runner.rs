@@ -8,14 +8,14 @@ use aoft_faults::FaultPlan;
 use aoft_hypercube::Hypercube;
 use aoft_net::Backoff;
 use aoft_sim::{
-    CostModel, Engine, ErrorReport, InProc, Packet, RunMetrics, RunReport, SimConfig, Ticks, Trace,
-    Transport,
+    CostModel, DetEngine, Engine, ErrorReport, InProc, Packet, RunMetrics, RunReport, SimConfig,
+    Simulator, Ticks, Trace, Transport,
 };
 
 use crate::{block, host, Block, Key, Msg, SftProgram, SnrProgram};
 
 /// Which sorting strategy to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Algorithm {
     /// `S_NR` (Figure 2): fast, unreliable.
     NonRedundant,
@@ -61,7 +61,9 @@ impl fmt::Display for Algorithm {
 /// (`k ↦ !k`, the overflow-free two's-complement reflection) and reflects
 /// the output back, so fault coverage and costs are exactly those of the
 /// ascending sort.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub enum SortDirection {
     /// Non-decreasing output (the default).
     #[default]
@@ -353,7 +355,34 @@ impl SortBuilder {
     /// corrupt stream) surface as [`SortError::Detected`].
     pub fn run_on<T>(self, transport: T) -> Result<SortReport, SortError>
     where
-        T: Transport<Packet<Msg>>,
+        T: Transport<Packet<Msg>> + Send,
+    {
+        self.run_machine(|cube, config| Engine::with_transport(cube, config, transport))
+    }
+
+    /// Runs the configured sort on the deterministic cooperative scheduler
+    /// ([`DetEngine`]) instead of free-running threads.
+    ///
+    /// The node programs, cost accounting and fault plan are identical to
+    /// [`run`](SortBuilder::run); what changes is that every scheduling
+    /// decision — delivery order, timeout firing, cancellation observation —
+    /// is made deterministically, so two calls with the same builder
+    /// configuration produce bit-equal reports (and `aoft-replay` can verify
+    /// a recorded run). Receive timeouts become *virtual*: they fire only
+    /// when the machine is globally stalled, never from wall-clock pressure,
+    /// which also makes 1024-node-and-up machines cheap enough for CI.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](SortBuilder::run).
+    pub fn run_deterministic(self) -> Result<SortReport, SortError> {
+        self.run_machine(DetEngine::new)
+    }
+
+    fn run_machine<E, F>(self, make_engine: F) -> Result<SortReport, SortError>
+    where
+        E: Simulator<Msg>,
+        F: FnOnce(Hypercube, SimConfig) -> E,
     {
         let (nodes, _m) = self.resolve_shape()?;
         let dim = nodes.trailing_zeros();
@@ -363,7 +392,7 @@ impl SortBuilder {
             .recv_timeout(self.timeout)
             .trace(self.trace)
             .job(self.job);
-        let engine = Engine::with_transport(cube, config, transport);
+        let engine = make_engine(cube, config);
         let keys: Vec<Key> = match self.direction {
             SortDirection::Ascending => self.keys,
             // Order reflection: !k = -k-1 is a strictly order-reversing
@@ -377,6 +406,26 @@ impl SortBuilder {
                     "fault plan names {} but the machine has {nodes} nodes",
                     spec.node
                 )));
+            }
+        }
+
+        // Journal the active fault plan (kinds, triggers, RNG seeds) so a
+        // recorded run carries everything replay needs to re-arm the same
+        // adversaries.
+        if !self.plan.specs().is_empty() {
+            aoft_obs::emit(
+                aoft_obs::Event::new("fault_plan")
+                    .job(self.job)
+                    .detail(serde_json::to_string(&self.plan).unwrap_or_default()),
+            );
+            for spec in self.plan.specs() {
+                aoft_obs::emit(
+                    aoft_obs::Event::new("fault_armed")
+                        .job(self.job)
+                        .node(spec.node.index() as u32)
+                        .seed(spec.seed)
+                        .detail(format!("{:?}", spec.kind)),
+                );
             }
         }
 
@@ -493,7 +542,7 @@ impl SortBuilder {
         mut transport_for_attempt: F,
     ) -> Result<RetryReport, SortError>
     where
-        T: Transport<Packet<Msg>>,
+        T: Transport<Packet<Msg>> + Send,
         F: FnMut(usize) -> T,
     {
         self.retry_loop(attempts, |builder, attempt| {
@@ -827,6 +876,52 @@ mod tests {
                 diagnosis.suspects().contains(NodeId::new(faulty)),
                 "P{faulty} missing from {diagnosis}"
             );
+        }
+    }
+
+    #[test]
+    fn deterministic_engine_runs_all_algorithms() {
+        let keys = vec![10, 8, 3, 9, 4, 2, 7, 5];
+        for algorithm in Algorithm::ALL {
+            let threaded = SortBuilder::new(algorithm)
+                .keys(keys.clone())
+                .run()
+                .unwrap_or_else(|e| panic!("{algorithm}: {e}"));
+            let det = SortBuilder::new(algorithm)
+                .keys(keys.clone())
+                .run_deterministic()
+                .unwrap_or_else(|e| panic!("{algorithm} (det): {e}"));
+            assert_eq!(det.output(), threaded.output(), "{algorithm}");
+            assert_eq!(det.elapsed(), threaded.elapsed(), "{algorithm} makespan");
+        }
+    }
+
+    #[test]
+    fn deterministic_detection_is_bit_stable() {
+        let plan = || {
+            FaultPlan::new().with_fault(
+                NodeId::new(3),
+                FaultKind::CorruptValue,
+                Trigger::from_seq(1),
+                9,
+            )
+        };
+        let attempt = || {
+            SortBuilder::new(Algorithm::FaultTolerant)
+                .keys((0..16).rev().collect())
+                .fault_plan(plan())
+                .run_deterministic()
+        };
+        let (a, b) = (attempt(), attempt());
+        match (a, b) {
+            (
+                Err(SortError::Detected { reports: ra }),
+                Err(SortError::Detected { reports: rb }),
+            ) => {
+                assert!(!ra.is_empty());
+                assert_eq!(ra, rb, "identical Φ-violation sequence across runs");
+            }
+            other => panic!("expected two detections, got {other:?}"),
         }
     }
 

@@ -54,6 +54,8 @@ impl LinkFault {
 pub struct FaultyTransport<T> {
     inner: T,
     seed: u64,
+    // Lookup-only maps (never iterated), so hash order cannot leak into
+    // fault behaviour — each link's fate depends only on (seed, LinkId).
     by_link: HashMap<LinkId, LinkFault>,
     by_sender: HashMap<u32, LinkFault>,
 }

@@ -139,6 +139,68 @@ impl NodeSet {
         }
     }
 
+    /// Inserts every index in `range` at once, whole `u64` words at a time —
+    /// the fast path for contiguous spans (a subcube's labels), `O(range /
+    /// 64)` instead of one masked store per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range end exceeds `capacity`.
+    pub fn insert_range(&mut self, range: std::ops::Range<usize>) {
+        assert!(
+            range.end <= self.capacity,
+            "range end {} out of NodeSet capacity {}",
+            range.end,
+            self.capacity
+        );
+        if range.is_empty() {
+            return;
+        }
+        let (first, last) = (range.start / WORD_BITS, (range.end - 1) / WORD_BITS);
+        let head = !0u64 << (range.start % WORD_BITS);
+        let tail = !0u64 >> (WORD_BITS - 1 - (range.end - 1) % WORD_BITS);
+        if first == last {
+            self.words[first] |= head & tail;
+            return;
+        }
+        self.words[first] |= head;
+        for word in &mut self.words[first + 1..last] {
+            *word = !0;
+        }
+        self.words[last] |= tail;
+    }
+
+    /// `true` if every index in `range` is in the set — the word-masked
+    /// counterpart of [`insert_range`](NodeSet::insert_range), used to test
+    /// whole-subcube coverage without iterating nodes.
+    ///
+    /// An empty range is vacuously covered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range end exceeds `capacity`.
+    pub fn contains_range(&self, range: std::ops::Range<usize>) -> bool {
+        assert!(
+            range.end <= self.capacity,
+            "range end {} out of NodeSet capacity {}",
+            range.end,
+            self.capacity
+        );
+        if range.is_empty() {
+            return true;
+        }
+        let (first, last) = (range.start / WORD_BITS, (range.end - 1) / WORD_BITS);
+        let head = !0u64 << (range.start % WORD_BITS);
+        let tail = !0u64 >> (WORD_BITS - 1 - (range.end - 1) % WORD_BITS);
+        if first == last {
+            let mask = head & tail;
+            return self.words[first] & mask == mask;
+        }
+        self.words[first] & head == head
+            && self.words[first + 1..last].iter().all(|&w| w == !0)
+            && self.words[last] & tail == tail
+    }
+
     /// `true` if every node of `self` is also in `other`.
     ///
     /// # Panics
@@ -408,5 +470,41 @@ mod tests {
         let set = NodeSet::singleton(64, NodeId::new(10));
         assert_eq!(set.len(), 1);
         assert!(set.contains(NodeId::new(10)));
+    }
+
+    #[test]
+    fn range_ops_match_per_node_ops_exhaustively() {
+        // Every (start, end) over capacities that straddle word boundaries:
+        // the masked forms must agree with the bit-at-a-time reference.
+        for capacity in [1usize, 63, 64, 65, 130] {
+            let mut reference = NodeSet::empty(capacity);
+            for start in 0..=capacity {
+                for end in start..=capacity {
+                    let mut masked = NodeSet::empty(capacity);
+                    masked.insert_range(start..end);
+                    reference.clear();
+                    for i in start..end {
+                        reference.insert(NodeId::new(i as u32));
+                    }
+                    assert_eq!(masked, reference, "insert {start}..{end} cap {capacity}");
+                    assert!(masked.contains_range(start..end));
+                    if start > 0 {
+                        assert!(!masked.contains_range(start - 1..end.max(start)));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contains_range_spots_interior_holes() {
+        let mut set = NodeSet::empty(256);
+        set.insert_range(0..256);
+        set.remove(NodeId::new(130));
+        assert!(!set.contains_range(0..256));
+        assert!(!set.contains_range(128..192));
+        assert!(set.contains_range(0..130));
+        assert!(set.contains_range(131..256));
+        assert!(set.contains_range(10..10), "empty range is vacuous");
     }
 }

@@ -59,6 +59,12 @@ pub struct Event {
     pub code: Option<u32>,
     /// Duration of the span the event closes, in microseconds.
     pub elapsed_us: Option<u64>,
+    /// Delivery index: how many messages the reporting node had sent when
+    /// the event fired (virtual-time coordinate for replay alignment).
+    pub seq: Option<u64>,
+    /// RNG seed governing the randomness behind this event (fault plans,
+    /// adversaries) — the input a replay needs to reproduce it.
+    pub seed: Option<u64>,
     /// Human-readable detail.
     pub detail: Option<String>,
 }
@@ -82,6 +88,8 @@ impl Event {
             predicate: None,
             code: None,
             elapsed_us: None,
+            seq: None,
+            seed: None,
             detail: None,
         }
     }
@@ -137,6 +145,18 @@ impl Event {
     /// Sets the closed span's duration.
     pub fn elapsed(mut self, elapsed: std::time::Duration) -> Self {
         self.elapsed_us = Some(elapsed.as_micros() as u64);
+        self
+    }
+
+    /// Sets the delivery index (messages sent by the reporter so far).
+    pub fn seq(mut self, seq: u64) -> Self {
+        self.seq = Some(seq);
+        self
+    }
+
+    /// Sets the governing RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
         self
     }
 

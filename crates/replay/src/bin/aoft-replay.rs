@@ -1,0 +1,209 @@
+//! Record, inspect, and bit-exactly verify deterministic run traces.
+//!
+//! ```text
+//! aoft-replay record <out.json> [--algorithm sft|snr|host-seq|host-verify]
+//!                    [--dim D] [--block M] [--descending] [--job N]
+//!                    [--keys-seed S] [--events]
+//!                    [--fault NODE:KIND:SEED[:FROM_SEQ]]...
+//! aoft-replay verify <trace.json>
+//! aoft-replay show   <trace.json>
+//! ```
+//!
+//! `verify` exits 0 when the re-execution reproduces the recording bit for
+//! bit and 1 with a divergence listing otherwise — the CI contract of the
+//! nightly `replay-verify` job.
+
+use std::process::ExitCode;
+
+use aoft_faults::{FaultKind, FaultPlan, Trigger};
+use aoft_hypercube::NodeId;
+use aoft_replay::{record, verify, RecordSpec, RecordedOutcome};
+use aoft_sort::{Algorithm, Key, SortDirection};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("record") => cmd_record(&args[1..]),
+        Some("verify") => return cmd_verify(&args[1..]),
+        Some("show") => cmd_show(&args[1..]),
+        Some("--help" | "-h" | "help") => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        _ => Err(format!("unknown or missing subcommand\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("aoft-replay: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  aoft-replay record <out.json> [options]   run deterministically, save trace
+  aoft-replay verify <trace.json>           re-run and diff; exit 0 iff bit-exact
+  aoft-replay show   <trace.json>           print a one-line summary
+
+record options:
+  --algorithm sft|snr|host-seq|host-verify  strategy (default sft)
+  --dim D                                   hypercube dimension (default 4)
+  --block M                                 keys per node (default 1)
+  --descending                              sort descending
+  --job N                                   job tag (default 0)
+  --keys-seed S                             key-scramble seed (default 1)
+  --events                                  capture the full event trace
+  --fault NODE:KIND:SEED[:FROM_SEQ]         inject a fault (repeatable);
+                                            KIND: corrupt|two-faced|drop|
+                                            crash|stale|delay|byzantine
+";
+
+fn cmd_record(args: &[String]) -> Result<(), String> {
+    let mut out = None;
+    let mut algorithm = Algorithm::FaultTolerant;
+    let mut dim = 4u32;
+    let mut block = 1usize;
+    let mut direction = SortDirection::Ascending;
+    let mut job = 0u64;
+    let mut keys_seed = 1u64;
+    let mut events = false;
+    let mut plan = FaultPlan::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--algorithm" => algorithm = parse_algorithm(value(&mut it, arg)?)?,
+            "--dim" => dim = parse(value(&mut it, arg)?, "--dim")?,
+            "--block" => block = parse(value(&mut it, arg)?, "--block")?,
+            "--descending" => direction = SortDirection::Descending,
+            "--job" => job = parse(value(&mut it, arg)?, "--job")?,
+            "--keys-seed" => keys_seed = parse(value(&mut it, arg)?, "--keys-seed")?,
+            "--events" => events = true,
+            "--fault" => {
+                let (node, kind, seed, from_seq) = parse_fault(value(&mut it, arg)?)?;
+                let trigger = match from_seq {
+                    Some(seq) => Trigger::from_seq(seq),
+                    None => Trigger::always(),
+                };
+                plan = plan.with_fault(NodeId::new(node), kind, trigger, seed);
+            }
+            path if out.is_none() && !path.starts_with('-') => out = Some(path.to_string()),
+            other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
+        }
+    }
+    let out = out.ok_or_else(|| format!("missing output path\n{USAGE}"))?;
+    let nodes = 1usize << dim;
+    let spec = RecordSpec::new(algorithm, scrambled_keys(nodes * block, keys_seed))
+        .nodes(nodes)
+        .direction(direction)
+        .job(job)
+        .fault_plan(plan)
+        .capture_events(events);
+    let trace = record(spec).map_err(|err| err.to_string())?;
+    aoft_replay::write_trace(&out, &trace).map_err(|err| err.to_string())?;
+    println!("recorded {out}: {}", trace.summary());
+    Ok(())
+}
+
+fn cmd_verify(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("aoft-replay: missing trace path\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let trace = match aoft_replay::read_trace(path) {
+        Ok(trace) => trace,
+        Err(err) => {
+            eprintln!("aoft-replay: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match verify(&trace) {
+        Ok(report) if report.is_bit_exact() => {
+            println!("{path}: bit-exact ({})", trace.outcome.summary());
+            ExitCode::SUCCESS
+        }
+        Ok(report) => {
+            eprintln!("{path}: REPLAY DIVERGED — {report}");
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("aoft-replay: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_show(args: &[String]) -> Result<(), String> {
+    let path = args
+        .first()
+        .ok_or_else(|| format!("missing trace path\n{USAGE}"))?;
+    let trace = aoft_replay::read_trace(path).map_err(|err| err.to_string())?;
+    println!("{}", trace.summary());
+    if let RecordedOutcome::FailStop { reports } = &trace.outcome {
+        for report in reports {
+            println!("  {report}");
+        }
+    }
+    if let Some(events) = &trace.events {
+        println!("  {} traced event(s)", events.events().len());
+    }
+    Ok(())
+}
+
+fn value<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a str, String> {
+    it.next()
+        .map(String::as_str)
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("{flag}: cannot parse `{s}`"))
+}
+
+fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
+    match s {
+        "sft" => Ok(Algorithm::FaultTolerant),
+        "snr" => Ok(Algorithm::NonRedundant),
+        "host-seq" => Ok(Algorithm::HostSequential),
+        "host-verify" => Ok(Algorithm::HostVerified),
+        other => Err(format!("unknown algorithm `{other}`")),
+    }
+}
+
+fn parse_fault(s: &str) -> Result<(u32, FaultKind, u64, Option<u64>), String> {
+    let parts: Vec<&str> = s.split(':').collect();
+    if parts.len() < 3 || parts.len() > 4 {
+        return Err(format!(
+            "--fault: expected NODE:KIND:SEED[:FROM_SEQ], got `{s}`"
+        ));
+    }
+    let node = parse(parts[0], "--fault NODE")?;
+    let kind = match parts[1] {
+        "corrupt" => FaultKind::CorruptValue,
+        "two-faced" => FaultKind::TwoFaced,
+        "drop" => FaultKind::DropMessages,
+        "crash" => FaultKind::Crash,
+        "stale" => FaultKind::StuckStale,
+        "delay" => FaultKind::DelayMessages,
+        "byzantine" => FaultKind::RandomByzantine,
+        other => return Err(format!("--fault: unknown kind `{other}`")),
+    };
+    let seed = parse(parts[2], "--fault SEED")?;
+    let from_seq = match parts.get(3) {
+        Some(seq) => Some(parse(seq, "--fault FROM_SEQ")?),
+        None => None,
+    };
+    Ok((node, kind, seed, from_seq))
+}
+
+/// The stress suite's key scrambler: full coverage of the value range,
+/// deterministic in the seed, no RNG dependency.
+fn scrambled_keys(count: usize, seed: u64) -> Vec<Key> {
+    (0..count as i64)
+        .map(|x| {
+            let mixed = x.wrapping_add(seed as i64).wrapping_mul(2654435761);
+            (mixed % 65_536 - 32_768) as Key
+        })
+        .collect()
+}

@@ -1,0 +1,49 @@
+//! [`LinkTx`]/[`LinkRx`] endpoints over in-process crossbeam channels.
+//!
+//! The threaded engine's host links use these adapters so that [`NodeCtx`]
+//! and [`HostCtx`] speak only the `aoft-net` link traits on every blocking
+//! path — the seam the deterministic scheduler ([`crate::DetEngine`]) plugs
+//! into. Semantics match the raw channels they wrap: an unbounded queue,
+//! [`NetError::Closed`] once the peer endpoint is dropped, and a receive
+//! loop that polls the fail-stop token in short slices.
+//!
+//! [`NodeCtx`]: crate::NodeCtx
+//! [`HostCtx`]: crate::HostCtx
+
+use std::time::Duration;
+
+use aoft_net::{CancelToken, LinkRx, LinkTx, NetError, PollSlices};
+use crossbeam_channel::{Receiver, RecvTimeoutError, Sender};
+
+/// Sending half of an in-process host link.
+pub(crate) struct ChannelTx<T>(pub(crate) Sender<T>);
+
+impl<T: Send> LinkTx<T> for ChannelTx<T> {
+    fn send(&self, msg: T) -> Result<(), NetError> {
+        self.0.send(msg).map_err(|_| NetError::Closed)
+    }
+}
+
+/// Receiving half of an in-process host link.
+pub(crate) struct ChannelRx<T>(pub(crate) Receiver<T>);
+
+impl<T: Send> LinkRx<T> for ChannelRx<T> {
+    fn recv_deadline(&self, timeout: Duration, cancel: &CancelToken) -> Result<T, NetError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut slices = PollSlices::new();
+        loop {
+            if cancel.is_cancelled() {
+                return Err(NetError::Cancelled);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(NetError::Timeout { waited: timeout });
+            }
+            match self.0.recv_timeout(slices.next_slice(deadline - now)) {
+                Ok(msg) => return Ok(msg),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return Err(NetError::Closed),
+            }
+        }
+    }
+}

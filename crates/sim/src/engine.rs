@@ -7,13 +7,14 @@ use aoft_net::{InProc, LinkId, LinkRx, LinkTx, Transport};
 use crossbeam_channel::unbounded;
 
 use crate::adversary::AdversarySet;
+use crate::channel::{ChannelRx, ChannelTx};
 use crate::error::{ErrorReport, SimError};
 use crate::host::HostCtx;
 use crate::message::{Packet, Payload};
 use crate::metrics::{NodeMetrics, RunMetrics};
 use crate::node::NodeCtx;
 use crate::program::Program;
-use crate::trace::Trace;
+use crate::trace::{Event, Trace};
 use crate::SimConfig;
 
 // The machine-wide fail-stop token now lives in the transport layer, where
@@ -127,6 +128,13 @@ impl Engine {
     /// by in-process channels.
     pub fn new(cube: Hypercube, config: SimConfig) -> Self {
         Self::with_transport(cube, config, InProc::new())
+    }
+
+    /// Creates a machine with the same topology and configuration but
+    /// driven by the deterministic cooperative scheduler instead of
+    /// free-running threads — see [`DetEngine`](crate::DetEngine).
+    pub fn deterministic(cube: Hypercube, config: SimConfig) -> crate::DetEngine {
+        crate::DetEngine::new(cube, config)
     }
 }
 
@@ -249,18 +257,22 @@ impl<T> Engine<T> {
             })
             .collect();
 
-        // Host links.
-        let mut to_host_txs = Vec::with_capacity(n);
-        let mut to_host_rxs = Vec::with_capacity(n);
-        let mut from_host_txs = Vec::with_capacity(n);
-        let mut from_host_rxs = Vec::with_capacity(n);
+        // Host links: raw channel pairs wrapped as link endpoints, so the
+        // contexts stay medium-agnostic. Deliberately not routed through the
+        // transport — host links are reliable by assumption 2, and the
+        // channel's disconnect-on-drop gives send-to-finished-host the
+        // LinkClosed error the baselines rely on.
+        let mut to_host_txs: Vec<Box<dyn LinkTx<Packet<M>>>> = Vec::with_capacity(n);
+        let mut to_host_rxs: Vec<Box<dyn LinkRx<Packet<M>>>> = Vec::with_capacity(n);
+        let mut from_host_txs: Vec<Box<dyn LinkTx<Packet<M>>>> = Vec::with_capacity(n);
+        let mut from_host_rxs: Vec<Box<dyn LinkRx<Packet<M>>>> = Vec::with_capacity(n);
         for _ in 0..n {
             let (tx, rx) = unbounded();
-            to_host_txs.push(tx);
-            to_host_rxs.push(rx);
+            to_host_txs.push(Box::new(ChannelTx(tx)));
+            to_host_rxs.push(Box::new(ChannelRx(rx)));
             let (tx, rx) = unbounded();
-            from_host_txs.push(tx);
-            from_host_rxs.push(rx);
+            from_host_txs.push(Box::new(ChannelTx(tx)));
+            from_host_rxs.push(Box::new(ChannelRx(rx)));
         }
 
         let (err_tx, err_rx) = unbounded();
@@ -331,59 +343,153 @@ impl<T> Engine<T> {
         });
 
         drop(err_tx);
-        let mut reports: Vec<ErrorReport> = err_rx.try_iter().collect();
-        reports.sort_by_key(|a| (a.at, a.detector));
-
-        let mut outputs = Vec::with_capacity(n);
-        let mut runtime_failures: Vec<(NodeId, SimError)> = Vec::new();
-        let mut node_metrics: Vec<NodeMetrics> = Vec::with_capacity(n);
-        let mut event_parts = Vec::with_capacity(n + 1);
-        for (id, result, metrics, events) in node_results {
-            node_metrics.push(metrics);
-            event_parts.push(events);
-            match result {
-                Ok(output) => outputs.push(output),
-                Err(err) => runtime_failures.push((id, err)),
-            }
-        }
-        event_parts.push(host_events);
-
-        // A node that died without *anyone* signalling (e.g. starved by a
-        // mute neighbor before any assertion could fire) still fails the
-        // run; once a real diagnostic exists, secondary runtime casualties
-        // of the fail-stop (closed links, cancellations) are not reported.
-        if reports.is_empty() {
-            for (id, err) in &runtime_failures {
-                reports.push(ErrorReport {
-                    detector: *id,
-                    at: node_metrics[id.index()].finished_at,
-                    code: 0,
-                    stage: None,
-                    suspect: match err {
-                        SimError::MissingMessage { from, .. }
-                        | SimError::LinkClosed { peer: from } => Some(*from),
-                        _ => None,
-                    },
-                    detail: format!("runtime failure: {err}"),
-                });
-            }
-        }
-
-        let outcome = if runtime_failures.is_empty() && reports.is_empty() {
-            Outcome::Completed(outputs)
-        } else {
-            Outcome::FailStop { reports }
-        };
-
-        let report = RunReport {
-            outcome,
-            metrics: RunMetrics {
-                nodes: node_metrics,
-                host: host_metrics,
-            },
-            trace: Trace::from_parts(event_parts),
-        };
+        let reports: Vec<ErrorReport> = err_rx.try_iter().collect();
+        let report = assemble_report(node_results, host_metrics, host_events, reports);
         (report, host_result)
+    }
+}
+
+/// One node's contribution to a run: label, program result, metrics, and
+/// the events it traced.
+pub(crate) type NodeOutcome<T> = (NodeId, Result<T, SimError>, NodeMetrics, Vec<Event>);
+
+/// Folds per-node results, metrics and error reports into a [`RunReport`] —
+/// the outcome logic shared by the threaded [`Engine`] and the deterministic
+/// [`DetEngine`](crate::DetEngine). `node_results` must be in label order.
+pub(crate) fn assemble_report<T>(
+    node_results: Vec<NodeOutcome<T>>,
+    host_metrics: NodeMetrics,
+    host_events: Vec<Event>,
+    mut reports: Vec<ErrorReport>,
+) -> RunReport<T> {
+    reports.sort_by_key(|a| (a.at, a.detector));
+
+    let n = node_results.len();
+    let mut outputs = Vec::with_capacity(n);
+    let mut runtime_failures: Vec<(NodeId, SimError)> = Vec::new();
+    let mut node_metrics: Vec<NodeMetrics> = Vec::with_capacity(n);
+    let mut event_parts = Vec::with_capacity(n + 1);
+    for (id, result, metrics, events) in node_results {
+        node_metrics.push(metrics);
+        event_parts.push(events);
+        match result {
+            Ok(output) => outputs.push(output),
+            Err(err) => runtime_failures.push((id, err)),
+        }
+    }
+    event_parts.push(host_events);
+
+    // A node that died without *anyone* signalling (e.g. starved by a
+    // mute neighbor before any assertion could fire) still fails the
+    // run; once a real diagnostic exists, secondary runtime casualties
+    // of the fail-stop (closed links, cancellations) are not reported.
+    if reports.is_empty() {
+        for (id, err) in &runtime_failures {
+            reports.push(ErrorReport {
+                detector: *id,
+                at: node_metrics[id.index()].finished_at,
+                code: 0,
+                stage: None,
+                suspect: match err {
+                    SimError::MissingMessage { from, .. } | SimError::LinkClosed { peer: from } => {
+                        Some(*from)
+                    }
+                    _ => None,
+                },
+                detail: format!("runtime failure: {err}"),
+            });
+        }
+    }
+
+    let outcome = if runtime_failures.is_empty() && reports.is_empty() {
+        Outcome::Completed(outputs)
+    } else {
+        Outcome::FailStop { reports }
+    };
+
+    RunReport {
+        outcome,
+        metrics: RunMetrics {
+            nodes: node_metrics,
+            host: host_metrics,
+        },
+        trace: Trace::from_parts(event_parts),
+    }
+}
+
+/// A machine that can execute a [`Program`] on every node of a hypercube and
+/// a host function beside it.
+///
+/// Two machines implement this: the thread-per-node [`Engine`] (wall-clock
+/// concurrency over any [`Transport`] medium) and the cooperative
+/// [`DetEngine`](crate::DetEngine) (deterministic round-robin scheduling for
+/// record/replay and 1024-node-scale sweeps). Algorithm layers written
+/// against `Simulator` run unchanged on either.
+pub trait Simulator<M: Payload>: Sync {
+    /// The machine's topology.
+    fn cube(&self) -> &Hypercube;
+
+    /// The machine's configuration.
+    fn config(&self) -> &SimConfig;
+
+    /// Runs `program` on the nodes and `host_fn` on the host processor,
+    /// returning the run report alongside the host function's result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `adversaries` was built for a different machine size or a
+    /// node program panics.
+    fn run_with_host<P, H, R>(
+        &self,
+        program: &P,
+        adversaries: AdversarySet<M>,
+        host_fn: H,
+    ) -> (RunReport<P::Output>, R)
+    where
+        P: Program<M>,
+        H: FnOnce(&mut HostCtx<'_, M>) -> R + Send,
+        R: Send;
+
+    /// Runs `program` with the given per-node adversaries installed.
+    fn run_faulty<P: Program<M>>(
+        &self,
+        program: &P,
+        adversaries: AdversarySet<M>,
+    ) -> RunReport<P::Output> {
+        self.run_with_host(program, adversaries, |_host| {}).0
+    }
+
+    /// Runs `program` on every node of a fully honest machine.
+    fn run<P: Program<M>>(&self, program: &P) -> RunReport<P::Output> {
+        self.run_faulty(program, AdversarySet::honest(self.cube().len()))
+    }
+}
+
+impl<M, T> Simulator<M> for Engine<T>
+where
+    M: Payload,
+    T: Transport<Packet<M>> + Send,
+{
+    fn cube(&self) -> &Hypercube {
+        Engine::cube(self)
+    }
+
+    fn config(&self) -> &SimConfig {
+        Engine::config(self)
+    }
+
+    fn run_with_host<P, H, R>(
+        &self,
+        program: &P,
+        adversaries: AdversarySet<M>,
+        host_fn: H,
+    ) -> (RunReport<P::Output>, R)
+    where
+        P: Program<M>,
+        H: FnOnce(&mut HostCtx<'_, M>) -> R + Send,
+        R: Send,
+    {
+        Engine::run_with_host(self, program, adversaries, host_fn)
     }
 }
 

@@ -1,13 +1,14 @@
 use std::time::Duration;
 
 use aoft_hypercube::{Hypercube, NodeId};
-use crossbeam_channel::{Receiver, Sender};
+use aoft_net::{LinkRx, LinkTx};
+use crossbeam_channel::Sender;
 
 use crate::engine::CancelToken;
 use crate::error::{ErrorReport, SimError};
 use crate::message::{Packet, Payload};
 use crate::metrics::NodeMetrics;
-use crate::node::recv_packet;
+use crate::node::map_net_error;
 use crate::time::{CostModel, Ticks};
 use crate::trace::{Event, EventKind};
 use crate::HOST_ID;
@@ -24,8 +25,8 @@ pub struct HostCtx<'a, M: Payload> {
     cube: Hypercube,
     cost: &'a CostModel,
     timeout: Duration,
-    to_nodes: Vec<Sender<Packet<M>>>,
-    from_nodes: Vec<Receiver<Packet<M>>>,
+    to_nodes: Vec<Box<dyn LinkTx<Packet<M>>>>,
+    from_nodes: Vec<Box<dyn LinkRx<Packet<M>>>>,
     err_tx: Sender<ErrorReport>,
     cancel: CancelToken,
     job: u64,
@@ -41,8 +42,8 @@ impl<'a, M: Payload> HostCtx<'a, M> {
         cube: Hypercube,
         cost: &'a CostModel,
         timeout: Duration,
-        to_nodes: Vec<Sender<Packet<M>>>,
-        from_nodes: Vec<Receiver<Packet<M>>>,
+        to_nodes: Vec<Box<dyn LinkTx<Packet<M>>>>,
+        from_nodes: Vec<Box<dyn LinkRx<Packet<M>>>>,
         err_tx: Sender<ErrorReport>,
         cancel: CancelToken,
         job: u64,
@@ -153,12 +154,9 @@ impl<'a, M: Payload> HostCtx<'a, M> {
     /// Panics if `node` is outside the machine.
     pub fn recv_from(&mut self, node: NodeId) -> Result<M, SimError> {
         assert!(self.cube.contains(node), "{node} outside {}", self.cube);
-        let packet = recv_packet(
-            &self.from_nodes[node.index()],
-            &self.cancel,
-            self.timeout,
-            node,
-        )?;
+        let packet = self.from_nodes[node.index()]
+            .recv_deadline(self.timeout, &self.cancel)
+            .map_err(|err| map_net_error(err, node, self.timeout))?;
         let idle = packet.available_at.saturating_sub(self.clock);
         self.metrics.idle_time += idle;
         self.clock = self.clock.max(packet.available_at);

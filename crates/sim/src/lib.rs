@@ -64,7 +64,9 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod adversary;
+mod channel;
 mod config;
+mod det;
 mod engine;
 mod error;
 mod host;
@@ -81,7 +83,8 @@ pub use aoft_net::{
     Transport, Wire,
 };
 pub use config::SimConfig;
-pub use engine::{Engine, Outcome, RunReport};
+pub use det::DetEngine;
+pub use engine::{Engine, Outcome, RunReport, Simulator};
 pub use error::{ErrorReport, SimError};
 pub use host::HostCtx;
 pub use message::{Packet, Payload, Word};

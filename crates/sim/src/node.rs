@@ -1,8 +1,8 @@
 use std::time::Duration;
 
 use aoft_hypercube::{Hypercube, NodeId};
-use aoft_net::{LinkRx, LinkTx, NetError, PollSlices};
-use crossbeam_channel::{Receiver, Sender};
+use aoft_net::{LinkRx, LinkTx, NetError};
+use crossbeam_channel::Sender;
 
 use crate::adversary::{Action, Adversary, SendContext};
 use crate::engine::CancelToken;
@@ -28,8 +28,8 @@ pub struct NodeCtx<'a, M: Payload> {
     timeout: Duration,
     out_links: Vec<Box<dyn LinkTx<Packet<M>>>>,
     in_links: Vec<Box<dyn LinkRx<Packet<M>>>>,
-    host_tx: Sender<Packet<M>>,
-    host_rx: Receiver<Packet<M>>,
+    host_tx: Box<dyn LinkTx<Packet<M>>>,
+    host_rx: Box<dyn LinkRx<Packet<M>>>,
     err_tx: Sender<ErrorReport>,
     cancel: CancelToken,
     adversary: Option<Box<dyn Adversary<M>>>,
@@ -49,8 +49,8 @@ impl<'a, M: Payload> NodeCtx<'a, M> {
         timeout: Duration,
         out_links: Vec<Box<dyn LinkTx<Packet<M>>>>,
         in_links: Vec<Box<dyn LinkRx<Packet<M>>>>,
-        host_tx: Sender<Packet<M>>,
-        host_rx: Receiver<Packet<M>>,
+        host_tx: Box<dyn LinkTx<Packet<M>>>,
+        host_rx: Box<dyn LinkRx<Packet<M>>>,
         err_tx: Sender<ErrorReport>,
         cancel: CancelToken,
         adversary: Option<Box<dyn Adversary<M>>>,
@@ -239,7 +239,10 @@ impl<'a, M: Payload> NodeCtx<'a, M> {
     ///   host.
     pub fn recv_from(&mut self, src: NodeId) -> Result<M, SimError> {
         if src == HOST_ID {
-            let packet = recv_packet(&self.host_rx, &self.cancel, self.timeout, src)?;
+            let packet = self
+                .host_rx
+                .recv_deadline(self.timeout, &self.cancel)
+                .map_err(|err| map_net_error(err, src, self.timeout))?;
             return Ok(self.accept(packet));
         }
         let dim = self
@@ -358,6 +361,7 @@ impl<'a, M: Payload> NodeCtx<'a, M> {
                 .node(self.id.index() as u32)
                 .stage(stage)
                 .code(code)
+                .seq(self.seq)
                 .detail(detail.clone());
             if let Some(suspect) = suspect {
                 event = event.detail(format!("{detail} (suspect {suspect})"));
@@ -414,42 +418,6 @@ pub(crate) fn map_net_error(err: NetError, peer: NodeId, waited: Duration) -> Si
         NetError::Cancelled => SimError::Cancelled,
         NetError::Closed | NetError::PeerDead { .. } | NetError::Codec(_) | NetError::Io(_) => {
             SimError::LinkClosed { peer }
-        }
-    }
-}
-
-/// Blocking receive on a reliable host channel with cancellation and
-/// timeout.
-///
-/// The wait is sliced into short ticks so a fail-stop signalled on another
-/// thread is observed within one slice even while this endpoint is blocked —
-/// the same discipline transport receivers follow (see `aoft-net`).
-pub(crate) fn recv_packet<M>(
-    rx: &Receiver<Packet<M>>,
-    cancel: &CancelToken,
-    timeout: Duration,
-    peer: NodeId,
-) -> Result<Packet<M>, SimError> {
-    let deadline = std::time::Instant::now() + timeout;
-    let mut slices = PollSlices::new();
-    loop {
-        if cancel.is_cancelled() {
-            return Err(SimError::Cancelled);
-        }
-        let now = std::time::Instant::now();
-        if now >= deadline {
-            return Err(SimError::MissingMessage {
-                from: peer,
-                waited: timeout,
-            });
-        }
-        let slice = slices.next_slice(deadline - now);
-        match rx.recv_timeout(slice) {
-            Ok(packet) => return Ok(packet),
-            Err(crossbeam_channel::RecvTimeoutError::Timeout) => continue,
-            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
-                return Err(SimError::LinkClosed { peer })
-            }
         }
     }
 }

@@ -5,7 +5,7 @@ use std::fmt;
 use std::time::Duration;
 
 use aoft_faults::FaultPlan;
-use aoft_sim::{ErrorReport, NodeMetrics};
+use aoft_sim::{ErrorReport, NodeMetrics, Trace};
 use aoft_sort::{Key, SortDirection};
 use crossbeam_channel::{Receiver, RecvTimeoutError};
 
@@ -35,6 +35,11 @@ pub struct JobSpec {
     /// (`aoft_faults::FaultyTransport`), which the service's link cache
     /// keeps alive across jobs.
     pub fault_plan: Option<FaultPlan>,
+    /// Capture the simulator's event trace of the successful attempt into
+    /// [`JobReport::trace`] — the raw material `aoft-replay` records
+    /// alongside a soak run. Off by default (tracing costs memory
+    /// proportional to message count).
+    pub capture_trace: bool,
 }
 
 impl JobSpec {
@@ -44,6 +49,7 @@ impl JobSpec {
             keys,
             direction: SortDirection::Ascending,
             fault_plan: None,
+            capture_trace: false,
         }
     }
 
@@ -56,6 +62,12 @@ impl JobSpec {
     /// Injects model-level faults into the job's first attempt.
     pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Captures the successful attempt's simulator trace in the report.
+    pub fn capture_trace(mut self, enabled: bool) -> Self {
+        self.capture_trace = enabled;
         self
     }
 }
@@ -79,6 +91,9 @@ pub struct JobReport {
     pub latency: Duration,
     /// Merged per-node simulator counters of the successful attempt.
     pub metrics: NodeMetrics,
+    /// Event trace of the successful attempt (empty unless the spec set
+    /// [`JobSpec::capture_trace`]).
+    pub trace: Trace,
 }
 
 impl JobReport {

@@ -7,7 +7,7 @@
 //! service-wide. Retries run on the largest subcube of surviving nodes —
 //! degraded mode — until the cube shrinks below the configured minimum.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use aoft_sim::ErrorReport;
 use aoft_sort::diagnosis::diagnose;
@@ -33,8 +33,12 @@ pub(crate) struct FailureVerdict {
     pub newly_quarantined: Vec<u32>,
 }
 
+// Ordered containers throughout: recovery decisions must be identical under
+// replay, so nothing in the strike/quarantine path may depend on hash-map
+// iteration order (the suspects themselves are accumulated in BTreeSets by
+// `record_failure` and the diagnosis layer for the same reason).
 struct RecoveryState {
-    strikes: HashMap<u32, u32>,
+    strikes: BTreeMap<u32, u32>,
     quarantined: BTreeSet<u32>,
 }
 
@@ -53,7 +57,7 @@ impl Recovery {
             min_dim,
             quarantine_after,
             state: Mutex::new(RecoveryState {
-                strikes: HashMap::new(),
+                strikes: BTreeMap::new(),
                 quarantined: BTreeSet::new(),
             }),
         }

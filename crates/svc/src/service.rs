@@ -284,6 +284,7 @@ where
             .direction(job.spec.direction)
             .nodes(nodes)
             .recv_timeout(config.recv_timeout)
+            .trace(job.spec.capture_trace)
             .job(run_id);
         if attempt == 0 {
             // Injected model faults are transient: they hit the first
@@ -307,6 +308,7 @@ where
                     detections,
                     latency: job.submitted_at.elapsed(),
                     metrics: merged,
+                    trace: report.trace().clone(),
                 });
             }
             Ok(Err(SortError::Detected { reports })) => {

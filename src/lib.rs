@@ -23,6 +23,9 @@
 //!   JSONL event journal for fail-stop postmortems.
 //! * [`models`] — analytic cost models and the experiment harness that
 //!   regenerates every table and figure of the paper.
+//! * [`replay`] — deterministic record/replay: schema-versioned run traces
+//!   that re-execute bit-exactly on the cooperative scheduler
+//!   (`aoft-replay verify <trace>`).
 //!
 //! # Quickstart
 //!
@@ -48,6 +51,7 @@ pub use aoft_hypercube as hypercube;
 pub use aoft_models as models;
 pub use aoft_net as net;
 pub use aoft_obs as obs;
+pub use aoft_replay as replay;
 pub use aoft_sim as sim;
 pub use aoft_sort as sort;
 pub use aoft_svc as svc;

@@ -144,4 +144,30 @@ fn service_soak_survives_sporadic_faults() {
 
     service.shutdown();
     aoft::obs::flush_journal();
+
+    // With `AOFT_SOAK_TRACE=<path>` the soak also leaves behind a replayable
+    // incident recording: one representative faulted job from the stream,
+    // re-run on the deterministic engine and captured as an `aoft-replay`
+    // trace. Nightly archives it and a downstream job re-executes it with
+    // `aoft-replay verify` — proof the artifact reproduces bit-exactly on a
+    // different machine than the one that recorded it.
+    if let Ok(path) = std::env::var("AOFT_SOAK_TRACE") {
+        let (label, plan) = periodic_fault_stream(48, 3, NODES, &FaultKind::ALL)
+            .into_iter()
+            .find(|(label, _)| *label != "clean")
+            .expect("every third job of the stream is faulted");
+        let trace = aoft::replay::record(
+            aoft::replay::RecordSpec::new(aoft::sort::Algorithm::FaultTolerant, job_keys(0))
+                .nodes(NODES as usize)
+                .fault_plan(plan),
+        )
+        .expect("soak trace records");
+        let report = aoft::replay::verify(&trace).expect("soak trace replays");
+        assert!(report.is_bit_exact(), "{report}");
+        aoft::replay::write_trace(&path, &trace).expect("trace path is writable");
+        println!(
+            "recorded {label} incident trace: {} -> {path}",
+            trace.summary()
+        );
+    }
 }

@@ -10,17 +10,30 @@ use std::time::Duration;
 
 use aoft::sort::{Algorithm, SortBuilder};
 
-fn run(algorithm: Algorithm, nodes: usize, m: usize) -> aoft::sort::SortReport {
+fn builder(algorithm: Algorithm, nodes: usize, m: usize) -> (SortBuilder, Vec<i32>) {
     let keys: Vec<i32> = (0..(nodes * m) as i64)
         .map(|x| ((x.wrapping_mul(2654435761)) % 65_536 - 32_768) as i32)
         .collect();
     let expected = common::sorted(&keys);
-    let report = SortBuilder::new(algorithm)
+    let builder = SortBuilder::new(algorithm)
         .keys(keys)
         .nodes(nodes)
-        .recv_timeout(Duration::from_secs(30))
-        .run()
-        .expect("honest run at scale");
+        .recv_timeout(Duration::from_secs(30));
+    (builder, expected)
+}
+
+fn run(algorithm: Algorithm, nodes: usize, m: usize) -> aoft::sort::SortReport {
+    let (builder, expected) = builder(algorithm, nodes, m);
+    let report = builder.run().expect("honest run at scale");
+    assert_eq!(report.output(), expected);
+    report
+}
+
+fn run_det(algorithm: Algorithm, nodes: usize, m: usize) -> aoft::sort::SortReport {
+    let (builder, expected) = builder(algorithm, nodes, m);
+    let report = builder
+        .run_deterministic()
+        .expect("honest deterministic run at scale");
     assert_eq!(report.output(), expected);
     report
 }
@@ -56,8 +69,28 @@ fn host_baseline_at_scale() {
     run(Algorithm::HostSequential, 128, 16);
 }
 
+// The d = 10 machine the threaded engine could only afford as an ignored
+// nightly job: under the cooperative scheduler exactly one thread runs at a
+// time, so it is cheap enough for tier-1.
 #[test]
-#[ignore = "spawns 1024 threads; run with --ignored in release mode"]
+fn sft_1024_nodes_deterministic() {
+    let report = run_det(Algorithm::FaultTolerant, 1024, 1);
+    // Schedule identities at d = 10: 10·11/2 + 10 sends per node.
+    let per_node = 10 * 11 / 2 + 10;
+    assert_eq!(
+        report.metrics().node_total().msgs_sent,
+        1024 * per_node as u64
+    );
+}
+
+#[test]
+fn snr_2048_nodes_deterministic_smoke() {
+    // d = 11, past the thread-per-node comfort zone either way.
+    run_det(Algorithm::NonRedundant, 2048, 1);
+}
+
+#[test]
+#[ignore = "spawns 1024 free-running threads; run with --ignored in release mode"]
 fn sft_1024_nodes() {
     run(Algorithm::FaultTolerant, 1024, 1);
 }
