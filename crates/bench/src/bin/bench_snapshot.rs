@@ -166,11 +166,12 @@ fn take_snapshot(quick: bool) -> Snapshot {
     );
 
     // Service throughput: per-job submit→completion latency through a
-    // resident service on in-process channels, d = 3, two workers.
-    metrics.insert(
-        "service_job_latency".to_string(),
-        service_latencies(if quick { 16 } else { 48 }),
-    );
+    // resident service on in-process channels, d = 3, two workers — plus
+    // the Dwork–Halpern–Waarts-style effort (node-ticks per job including
+    // any retried attempts), the cost axis the Byzantine campaign tracks.
+    let (latency, effort) = service_latencies(if quick { 16 } else { 48 });
+    metrics.insert("service_job_latency".to_string(), latency);
+    metrics.insert("service_job_effort".to_string(), effort);
 
     Snapshot {
         schema: SCHEMA,
@@ -213,7 +214,7 @@ fn summarize(timings: &mut [f64]) -> Metric {
     }
 }
 
-fn service_latencies(jobs: usize) -> Metric {
+fn service_latencies(jobs: usize) -> (Metric, Metric) {
     let config = SvcConfig::new(3).workers(2).queue_depth(2 * jobs);
     let service = SortService::start(config, InProc::new()).expect("service starts");
     let handles: Vec<_> = (0..jobs as i64)
@@ -224,11 +225,16 @@ fn service_latencies(jobs: usize) -> Metric {
             service.submit(JobSpec::new(keys)).expect("admit")
         })
         .collect();
-    let mut timings: Vec<f64> = handles
+    let (mut timings, mut efforts): (Vec<f64>, Vec<f64>) = handles
         .into_iter()
-        .map(|h| h.wait().expect("job completes").latency.as_secs_f64() * 1e6)
-        .collect();
-    summarize(&mut timings)
+        .map(|h| {
+            let report = h.wait().expect("job completes");
+            (report.latency.as_secs_f64() * 1e6, report.effort as f64)
+        })
+        .unzip();
+    let mut effort_metric = summarize(&mut efforts);
+    effort_metric.unit = "ticks".to_string();
+    (summarize(&mut timings), effort_metric)
 }
 
 /// A representative stage message, mirroring the codec criterion bench.

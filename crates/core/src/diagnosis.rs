@@ -30,6 +30,8 @@
 use aoft_hypercube::{NodeSet, Subcube};
 use aoft_sim::ErrorReport;
 
+use crate::Violation;
+
 /// The outcome of analyzing a run's fail-stop reports.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnosis {
@@ -83,18 +85,39 @@ impl std::fmt::Display for Diagnosis {
 
 /// The candidate region one report implicates.
 fn candidate(report: &ErrorReport, nodes: usize, dim: u32) -> NodeSet {
+    let dead_link = Violation::MessageLost {
+        from: report.detector,
+    }
+    .code();
     if let Some(suspect) = report.suspect {
         if suspect.index() < nodes {
-            let mut set = NodeSet::singleton(nodes, suspect);
-            // Definition 3 case 2a: a dead link between P_i and P_j cannot
-            // be attributed to either endpoint alone — and the detector
-            // itself may be the Byzantine party fabricating the accusation.
-            if report.detector.index() < nodes {
-                set.insert(report.detector);
+            if report.code == dead_link {
+                let mut set = NodeSet::singleton(nodes, suspect);
+                // Definition 3 case 2a: a dead link between P_i and P_j
+                // cannot be attributed to either endpoint alone — and the
+                // detector itself may be the Byzantine party fabricating
+                // the accusation.
+                if report.detector.index() < nodes {
+                    set.insert(report.detector);
+                }
+                return set;
             }
+            // A value accusation (the Φ_C equivocation proof) names the
+            // sender that contradicted its own entry, but a corruptor on a
+            // relayed route can shift that blame one hop to the entry's
+            // honest owner — so the named node *joins* the stage region
+            // (which provably contains the fault) rather than replacing it.
+            let mut set = stage_region(report, nodes, dim);
+            set.insert(suspect);
             return set;
         }
     }
+    stage_region(report, nodes, dim)
+}
+
+/// The home-subcube region implicated by the report's stage, or the full
+/// machine when unlocalized.
+fn stage_region(report: &ErrorReport, nodes: usize, dim: u32) -> NodeSet {
     match report.stage {
         Some(stage) if report.detector.index() < nodes => {
             let span_dim = (stage + 1).min(dim);
@@ -146,12 +169,37 @@ mod tests {
     use super::*;
 
     fn report(detector: u32, stage: Option<u32>, suspect: Option<u32>) -> ErrorReport {
+        // Suspect-carrying reports here model missing-message accusations.
+        let code = if suspect.is_some() {
+            Violation::MessageLost {
+                from: NodeId::new(detector),
+            }
+            .code()
+        } else {
+            1
+        };
         ErrorReport {
             detector: NodeId::new(detector),
             at: Ticks::from_ticks(1),
-            code: 1,
+            code,
             stage,
             suspect: suspect.map(NodeId::new),
+            detail: String::new(),
+        }
+    }
+
+    fn value_report(detector: u32, stage: u32, suspect: u32) -> ErrorReport {
+        ErrorReport {
+            detector: NodeId::new(detector),
+            at: Ticks::from_ticks(1),
+            code: Violation::Inconsistent {
+                stage,
+                step: 0,
+                entry: NodeId::new(suspect),
+            }
+            .code(),
+            stage: Some(stage),
+            suspect: Some(NodeId::new(suspect)),
             detail: String::new(),
         }
     }
@@ -203,6 +251,27 @@ mod tests {
         for n in [0u32, 1, 6, 7] {
             assert!(d.suspects().contains(NodeId::new(n)));
         }
+    }
+
+    #[test]
+    fn value_accusation_joins_its_stage_region() {
+        // Φ_C equivocation proof: detector P5 at stage 1 names P0. The
+        // region is SC_2 of P5 = {4..7} plus the named node, never the
+        // bare {suspect, detector} pair reserved for dead links.
+        let d = diagnose(&[value_report(5, 1, 0)], 3);
+        assert_eq!(d.suspects().len(), 5);
+        assert!(d.suspects().contains(NodeId::new(0)));
+        for n in 4..8u32 {
+            assert!(d.suspects().contains(NodeId::new(n)));
+        }
+    }
+
+    #[test]
+    fn value_accusation_intersects_with_corroboration() {
+        // A second detector's accusation of the same node pins it down.
+        let d = diagnose(&[value_report(5, 1, 0), value_report(2, 0, 0)], 3);
+        assert!(d.is_pinpointed());
+        assert!(d.suspects().contains(NodeId::new(0)));
     }
 
     #[test]

@@ -46,7 +46,7 @@
 //!     .fault_plan(plan)
 //!     .run();
 //! match result {
-//!     Err(SortError::Detected { reports }) => assert!(!reports.is_empty()),
+//!     Err(SortError::Detected { reports, .. }) => assert!(!reports.is_empty()),
 //!     other => panic!("expected fail-stop, got {other:?}"),
 //! }
 //! ```

@@ -402,6 +402,54 @@ impl Corruptible for Msg {
             Msg::Lbs(lbs) => Msg::Lbs(mutate_lbs(lbs, rng, skew_block)),
         }
     }
+
+    /// Targeted equivocation: skews only the LBS slot *owned by* `owner`
+    /// (the sending node), leaving data and every other slot intact — so
+    /// when Φ_C compares vertex-disjoint copies, the disagreeing entry is
+    /// the sender's own. Falls back to [`skew`](Corruptible::skew) when the
+    /// message carries no slot for `owner` (bare data, or the owner's entry
+    /// lies outside the piggybacked span).
+    fn skew_own<R: Rng + ?Sized>(&self, owner: u32, rng: &mut R) -> Self {
+        let skew_slot = |lbs: &LbsWire, rng: &mut R| -> Option<LbsWire> {
+            let idx = owner.checked_sub(lbs.span_start)? as usize;
+            let slot = lbs.slots.get(idx)?.as_ref()?;
+            if slot.is_empty() {
+                return None;
+            }
+            let mut out = lbs.clone();
+            out.slots[idx] = Some(skew_block(slot, rng));
+            Some(out)
+        };
+        match self {
+            Msg::Tagged { data, lbs } => match skew_slot(lbs, rng) {
+                Some(lbs) => Msg::Tagged {
+                    data: data.clone(),
+                    lbs,
+                },
+                None => self.skew(rng),
+            },
+            Msg::Lbs(lbs) => match skew_slot(lbs, rng) {
+                Some(lbs) => Msg::Lbs(lbs),
+                None => self.skew(rng),
+            },
+            Msg::Data(_) => self.skew(rng),
+        }
+    }
+
+    /// Metadata-only fault: damages one filled LBS slot, never the data
+    /// block — the message remains acceptable to the whole data path and
+    /// only the consistency machinery can notice. Bare data messages have
+    /// no metadata and fall back to [`corrupt`](Corruptible::corrupt).
+    fn corrupt_meta<R: Rng + ?Sized>(&self, rng: &mut R) -> Self {
+        match self {
+            Msg::Tagged { data, lbs } => Msg::Tagged {
+                data: data.clone(),
+                lbs: mutate_lbs(lbs, rng, corrupt_block),
+            },
+            Msg::Lbs(lbs) => Msg::Lbs(mutate_lbs(lbs, rng, corrupt_block)),
+            Msg::Data(_) => self.corrupt(rng),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -595,5 +643,59 @@ mod tests {
         let a = msg.corrupt(&mut ChaCha8Rng::seed_from_u64(3));
         let b = msg.corrupt(&mut ChaCha8Rng::seed_from_u64(3));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn skew_own_touches_only_the_owners_slot() {
+        // Owner node 5 maps to slot index 1 of a span starting at 4.
+        let msg = Msg::Tagged {
+            data: Block::new(vec![1]),
+            lbs: wire(
+                4,
+                vec![Some(Block::new(vec![7])), Some(Block::new(vec![8]))],
+            ),
+        };
+        let mut r = rng();
+        match msg.skew_own(5, &mut r) {
+            Msg::Tagged { data, lbs } => {
+                assert_eq!(data.keys(), &[1], "data untouched");
+                assert_eq!(
+                    lbs.get(NodeId::new(4)).unwrap().keys(),
+                    &[7],
+                    "bystander slot untouched"
+                );
+                assert_ne!(
+                    lbs.get(NodeId::new(5)).unwrap().keys(),
+                    &[8],
+                    "own slot skewed"
+                );
+            }
+            other => panic!("variant preserved, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skew_own_without_own_slot_falls_back() {
+        // Owner 6 has no slot in a span [4, 6): falls back to plain skew,
+        // which must still change the message.
+        let msg = Msg::Lbs(wire(4, vec![Some(Block::new(vec![7])), None]));
+        let out = msg.skew_own(6, &mut rng());
+        assert_ne!(out, msg);
+    }
+
+    #[test]
+    fn corrupt_meta_leaves_data_intact() {
+        let msg = Msg::Tagged {
+            data: Block::new(vec![10, 20]),
+            lbs: wire(0, vec![Some(Block::new(vec![5]))]),
+        };
+        let mut r = rng();
+        match msg.corrupt_meta(&mut r) {
+            Msg::Tagged { data, lbs } => {
+                assert_eq!(data.keys(), &[10, 20], "data path sees nothing");
+                assert_ne!(lbs.get(NodeId::new(0)).unwrap().keys(), &[5]);
+            }
+            other => panic!("variant preserved, got {other:?}"),
+        }
     }
 }

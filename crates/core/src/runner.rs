@@ -83,6 +83,11 @@ pub enum SortError {
     Detected {
         /// The diagnostics delivered to the host, in detection order.
         reports: Vec<ErrorReport>,
+        /// Effort spent before the fail-stop: total node-time (send +
+        /// idle + compute) in ticks across the machine — the work the
+        /// detection discarded, which retry-level accounting must still
+        /// bill.
+        effort: u64,
     },
 }
 
@@ -90,7 +95,7 @@ impl fmt::Display for SortError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SortError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
-            SortError::Detected { reports } => match reports.first() {
+            SortError::Detected { reports, .. } => match reports.first() {
                 Some(first) => write!(
                     f,
                     "fault detected, machine fail-stopped ({} report(s); first: {first})",
@@ -477,7 +482,10 @@ impl SortBuilder {
                                 .map_or_else(|| "none".to_string(), ToString::to_string)
                         ),
                 ));
-                Err(SortError::Detected { reports })
+                Err(SortError::Detected {
+                    reports,
+                    effort: metrics.effort(),
+                })
             }
         }
     }
@@ -572,7 +580,7 @@ impl SortBuilder {
                         detections,
                     });
                 }
-                Err(SortError::Detected { reports }) if attempt + 1 < attempts => {
+                Err(SortError::Detected { reports, .. }) if attempt + 1 < attempts => {
                     detections.push(reports);
                 }
                 Err(err) => return Err(err),
@@ -673,9 +681,10 @@ mod tests {
             .fault_plan(plan)
             .run();
         match result {
-            Err(SortError::Detected { reports }) => {
+            Err(SortError::Detected { reports, effort }) => {
                 assert!(!reports.is_empty());
                 assert_ne!(reports[0].code, 0, "a predicate fired, not a timeout");
+                assert!(effort > 0, "a fail-stopped run still did work");
             }
             other => panic!("expected detection, got {other:?}"),
         }
@@ -863,11 +872,12 @@ mod tests {
                 Trigger::from_seq(1),
                 faulty as u64 + 40,
             );
-            let Err(SortError::Detected { reports }) = SortBuilder::new(Algorithm::FaultTolerant)
-                .keys((0..8).rev().collect())
-                .fault_plan(plan)
-                .recv_timeout(Duration::from_millis(300))
-                .run()
+            let Err(SortError::Detected { reports, .. }) =
+                SortBuilder::new(Algorithm::FaultTolerant)
+                    .keys((0..8).rev().collect())
+                    .fault_plan(plan)
+                    .recv_timeout(Duration::from_millis(300))
+                    .run()
             else {
                 continue; // fault absorbed: nothing to diagnose
             };
@@ -915,8 +925,8 @@ mod tests {
         let (a, b) = (attempt(), attempt());
         match (a, b) {
             (
-                Err(SortError::Detected { reports: ra }),
-                Err(SortError::Detected { reports: rb }),
+                Err(SortError::Detected { reports: ra, .. }),
+                Err(SortError::Detected { reports: rb, .. }),
             ) => {
                 assert!(!ra.is_empty());
                 assert_eq!(ra, rb, "identical Φ-violation sequence across runs");

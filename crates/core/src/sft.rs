@@ -112,6 +112,15 @@ impl SftProgram {
 /// Signals `violation` to the host and converts it into the `SimError` the
 /// node thread unwinds with.
 fn fail(ctx: &mut NodeCtx<'_, Msg>, violation: Violation) -> SimError {
+    let suspect = violation.suspect_hint();
+    fail_as(ctx, violation, suspect)
+}
+
+/// [`fail`] with an explicit accusation: `suspect` overrides the
+/// violation's own hint when the detection site can name the culprit more
+/// precisely than the violation variant alone (the Φ_C equivocation proof
+/// of [`SftState::consume_lbs`]).
+fn fail_as(ctx: &mut NodeCtx<'_, Msg>, violation: Violation, suspect: Option<NodeId>) -> SimError {
     aoft_obs::record_violation(
         violation.family(),
         violation.code(),
@@ -122,7 +131,7 @@ fn fail(ctx: &mut NodeCtx<'_, Msg>, violation: Violation) -> SimError {
     ctx.signal_report(
         violation.code(),
         violation.stage_hint(),
-        violation.suspect_hint(),
+        suspect,
         violation.to_string(),
     );
     SimError::Cancelled
@@ -274,7 +283,45 @@ impl SftState {
                 ctx.charge_moves(outcome.adopted * self.m);
                 Ok(())
             }
-            Err(violation) => Err(fail(ctx, violation)),
+            // Equivocation proof (Lemma 6). Two shapes of Φ_C evidence are
+            // one-hop attributable to `partner`:
+            //
+            // * In a *reply* (`Expect::After`) every compared entry is one
+            //   this node transmitted to `partner` in this very step — the
+            //   exchange schedule makes pre-step holdings complementary, so
+            //   the overlap of the union mask with the local held-set is
+            //   exactly what just went out. A disagreeing echo travelled
+            //   `me → partner → me`: the two copies' routes share only
+            //   {me, partner}, this node vouches for itself, so the sender
+            //   is named directly.
+            // * A disagreeing (or missing) entry that is `partner`'s *own*:
+            //   vertex-disjoint routes of an entry share only its owner, so
+            //   a sender caught contradicting itself about its own value is
+            //   the fault. (An honest sender missing a mask-required entry
+            //   would have fail-stopped at its own consume instead of
+            //   replying, so omission is equally self-incriminating.)
+            //
+            // Any other conflict stays unattributed: a relayed copy in an
+            // initiating array may have been damaged anywhere along its
+            // route, and naming a node without proof risks quarantining a
+            // bystander.
+            Err(violation) => {
+                let one_hop = matches!(
+                    &violation,
+                    Violation::Inconsistent { .. } | Violation::MissingEntry { .. }
+                );
+                let entry_is_partner = matches!(
+                    &violation,
+                    Violation::Inconsistent { entry, .. }
+                    | Violation::MissingEntry { entry, .. } if *entry == partner
+                );
+                let suspect = if one_hop && (matches!(expect, Expect::After) || entry_is_partner) {
+                    Some(partner)
+                } else {
+                    violation.suspect_hint()
+                };
+                Err(fail_as(ctx, violation, suspect))
+            }
         }
     }
 

@@ -77,6 +77,83 @@ impl<M: Corruptible> Adversary<M> for TwoFaced {
     }
 }
 
+/// Targeted equivocation: the sender lies *about its own entry* to
+/// higher-labelled peers.
+///
+/// [`TwoFaced`] skews an arbitrary part of the payload, so the Φ_C witness
+/// may name a bystander whose relayed copy happened to be damaged. The
+/// equivocator instead skews only the slot the sender itself owns
+/// ([`Corruptible::skew_own`]): when vertex-disjoint copies of that entry
+/// disagree, the disagreeing entry *is* the sender — Lemma 6's
+/// vertex-disjointness means the only node common to both routes is the
+/// owner, so the detection evidence names the equivocator directly and
+/// recovery can quarantine it without collateral.
+#[derive(Debug)]
+pub struct Equivocator {
+    trigger: Trigger,
+    rng: ChaCha8Rng,
+}
+
+impl Equivocator {
+    /// Creates an equivocator firing per `trigger`.
+    pub fn new(trigger: Trigger, seed: u64) -> Self {
+        Self {
+            trigger,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl<M: Corruptible> Adversary<M> for Equivocator {
+    fn intercept(&mut self, ctx: &SendContext, payload: M) -> Action<M> {
+        if self.trigger.fires(ctx.seq, &mut self.rng) && ctx.dst > ctx.src {
+            Action::Deliver(payload.skew_own(ctx.src.raw(), &mut self.rng))
+        } else {
+            Action::Deliver(payload)
+        }
+    }
+
+    fn label(&self) -> &str {
+        "equivocator"
+    }
+}
+
+/// Metadata fault: armed sends carry damaged check metadata (the
+/// piggybacked LBS) over intact primary data.
+///
+/// Models a fault in the redundancy machinery itself — the hardest case for
+/// a checker to survive, because the data path alone would accept every
+/// message ([`Corruptible::corrupt_meta`]).
+#[derive(Debug)]
+pub struct LbsCorruptor {
+    trigger: Trigger,
+    rng: ChaCha8Rng,
+}
+
+impl LbsCorruptor {
+    /// Creates an LBS corruptor firing per `trigger`.
+    pub fn new(trigger: Trigger, seed: u64) -> Self {
+        Self {
+            trigger,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl<M: Corruptible> Adversary<M> for LbsCorruptor {
+    fn intercept(&mut self, ctx: &SendContext, payload: M) -> Action<M> {
+        if self.trigger.fires(ctx.seq, &mut self.rng) {
+            Action::Deliver(payload.corrupt_meta(&mut self.rng))
+        } else {
+            Action::Deliver(payload)
+        }
+    }
+
+    fn label(&self) -> &str {
+        "lbs-corruptor"
+    }
+}
+
 /// Omission fault: armed sends disappear.
 ///
 /// The receiver's timeout makes the absence detectable (environmental
@@ -317,6 +394,26 @@ mod tests {
         let up = delivered(adv.intercept(&ctx(4, 5, 1), Word(100))).unwrap();
         assert_eq!(down, Word(100), "lower peers hear the truth");
         assert_ne!(up, Word(100), "higher peers hear a skewed value");
+    }
+
+    #[test]
+    fn equivocator_lies_upward_only() {
+        let mut adv = Equivocator::new(Trigger::always(), 6);
+        let down = delivered(adv.intercept(&ctx(4, 0, 0), Word(100))).unwrap();
+        let up = delivered(adv.intercept(&ctx(4, 5, 1), Word(100))).unwrap();
+        assert_eq!(down, Word(100), "lower peers hear the truth");
+        assert_ne!(up, Word(100), "higher peers hear the lie");
+    }
+
+    #[test]
+    fn lbs_corruptor_fires_per_trigger() {
+        let mut adv = LbsCorruptor::new(Trigger::at_seq(1), 6);
+        assert_eq!(
+            delivered(adv.intercept(&ctx(0, 1, 0), Word(7))),
+            Some(Word(7))
+        );
+        let hit = delivered(adv.intercept(&ctx(0, 1, 1), Word(7))).unwrap();
+        assert_ne!(hit, Word(7), "Word has no separable metadata: falls back");
     }
 
     #[test]

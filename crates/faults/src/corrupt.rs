@@ -24,6 +24,28 @@ pub trait Corruptible: Payload {
     fn skew<R: Rng + ?Sized>(&self, rng: &mut R) -> Self {
         self.corrupt(rng)
     }
+
+    /// A variant skewed only in the part of the payload *owned by* `owner`
+    /// (the sending node's label) — the targeted equivocation attack: the
+    /// sender lies about its own value, so vertex-disjoint copies of that
+    /// very entry disagree and the Φ_C witness names the liar itself.
+    ///
+    /// Payloads without per-owner structure default to
+    /// [`skew`](Corruptible::skew).
+    fn skew_own<R: Rng + ?Sized>(&self, owner: u32, rng: &mut R) -> Self {
+        let _ = owner;
+        self.skew(rng)
+    }
+
+    /// A variant whose check *metadata* (e.g. a piggybacked LBS) is damaged
+    /// while the primary data is left intact — the attack that must be
+    /// caught by the consistency machinery, never by the data path.
+    ///
+    /// Payloads without separable metadata default to
+    /// [`corrupt`](Corruptible::corrupt).
+    fn corrupt_meta<R: Rng + ?Sized>(&self, rng: &mut R) -> Self {
+        self.corrupt(rng)
+    }
 }
 
 impl Corruptible for Word {
@@ -134,6 +156,15 @@ mod tests {
         let v: Vec<i64> = Vec::new();
         assert!(v.corrupt(&mut r).is_empty());
         assert!(v.skew(&mut r).is_empty());
+    }
+
+    #[test]
+    fn default_owner_and_meta_variants_fall_back() {
+        // Without per-owner structure, skew_own ≡ skew and corrupt_meta ≡
+        // corrupt under the same rng stream.
+        let v: i64 = 500;
+        assert_eq!(v.skew_own(3, &mut rng()), v.skew(&mut rng()));
+        assert_eq!(v.corrupt_meta(&mut rng()), v.corrupt(&mut rng()));
     }
 
     #[test]

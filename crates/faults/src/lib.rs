@@ -16,6 +16,10 @@
 //!   environmental assumption 4);
 //! * [`Crash`] — goes silent forever from a trigger point (fail-silent
 //!   node);
+//! * [`Equivocator`] — lies about *its own* entry to higher-labelled peers,
+//!   so the Φ_C witness names the liar itself (Lemma 6);
+//! * [`LbsCorruptor`] — damages the piggybacked check metadata over intact
+//!   data (a fault in the redundancy machinery);
 //! * [`StuckStale`] — replays the previously sent payload (stuck-at fault);
 //! * [`Delayer`] — holds messages back and releases them late (FIFO link
 //!   congestion that desynchronizes the protocol);
@@ -51,7 +55,8 @@ mod transport;
 mod trigger;
 
 pub use adversaries::{
-    Crash, Delayer, MessageDropper, RandomByzantine, StuckStale, TwoFaced, ValueCorruptor,
+    Crash, Delayer, Equivocator, LbsCorruptor, MessageDropper, RandomByzantine, StuckStale,
+    TwoFaced, ValueCorruptor,
 };
 pub use campaign::{
     periodic_fault_stream, run_campaign, CampaignResult, KindStats, TrialOutcome, TrialRecord,

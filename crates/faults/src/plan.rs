@@ -5,7 +5,8 @@ use aoft_sim::AdversarySet;
 use serde::{Deserialize, Serialize};
 
 use crate::adversaries::{
-    Crash, Delayer, MessageDropper, RandomByzantine, StuckStale, TwoFaced, ValueCorruptor,
+    Crash, Delayer, Equivocator, LbsCorruptor, MessageDropper, RandomByzantine, StuckStale,
+    TwoFaced, ValueCorruptor,
 };
 use crate::{Corruptible, Trigger};
 
@@ -26,11 +27,15 @@ pub enum FaultKind {
     DelayMessages,
     /// Seeded mix of all misbehaviours ([`RandomByzantine`]).
     RandomByzantine,
+    /// Targeted equivocation about the sender's own entry ([`Equivocator`]).
+    Equivocate,
+    /// Check-metadata (LBS) corruption over intact data ([`LbsCorruptor`]).
+    CorruptLbs,
 }
 
 impl FaultKind {
     /// All fault kinds, for exhaustive sweeps.
-    pub const ALL: [FaultKind; 7] = [
+    pub const ALL: [FaultKind; 9] = [
         FaultKind::CorruptValue,
         FaultKind::TwoFaced,
         FaultKind::DropMessages,
@@ -38,6 +43,8 @@ impl FaultKind {
         FaultKind::StuckStale,
         FaultKind::DelayMessages,
         FaultKind::RandomByzantine,
+        FaultKind::Equivocate,
+        FaultKind::CorruptLbs,
     ];
 
     /// Stable kebab-case name used in reports.
@@ -50,6 +57,8 @@ impl FaultKind {
             FaultKind::StuckStale => "stuck-stale",
             FaultKind::DelayMessages => "delay-messages",
             FaultKind::RandomByzantine => "random-byzantine",
+            FaultKind::Equivocate => "equivocate",
+            FaultKind::CorruptLbs => "corrupt-lbs",
         }
     }
 }
@@ -71,6 +80,26 @@ pub struct FaultSpec {
     pub trigger: Trigger,
     /// RNG seed for the adversary's random choices.
     pub seed: u64,
+}
+
+impl FaultSpec {
+    /// Instantiates this spec's adversary with an explicit `seed` (which
+    /// may differ from [`FaultSpec::seed`]: wire-level injection mixes the
+    /// link identity into the seed so each link draws an independent,
+    /// reproducible stream).
+    pub fn build_adversary<M: Corruptible>(&self, seed: u64) -> Box<dyn aoft_sim::Adversary<M>> {
+        match self.kind {
+            FaultKind::CorruptValue => Box::new(ValueCorruptor::new(self.trigger, seed)),
+            FaultKind::TwoFaced => Box::new(TwoFaced::new(self.trigger, seed)),
+            FaultKind::DropMessages => Box::new(MessageDropper::new(self.trigger, seed)),
+            FaultKind::Crash => Box::new(Crash::new(self.trigger.from)),
+            FaultKind::StuckStale => Box::new(StuckStale::<M>::new(self.trigger, seed)),
+            FaultKind::DelayMessages => Box::new(Delayer::<M>::new(self.trigger, seed)),
+            FaultKind::RandomByzantine => Box::new(RandomByzantine::<M>::new(self.trigger, seed)),
+            FaultKind::Equivocate => Box::new(Equivocator::new(self.trigger, seed)),
+            FaultKind::CorruptLbs => Box::new(LbsCorruptor::new(self.trigger, seed)),
+        }
+    }
 }
 
 /// A declarative, serializable description of all faults in one run.
@@ -171,18 +200,7 @@ impl FaultPlan {
                 "fault plan names {} but the machine has {nodes} nodes",
                 spec.node
             );
-            let adversary: Box<dyn aoft_sim::Adversary<M>> = match spec.kind {
-                FaultKind::CorruptValue => Box::new(ValueCorruptor::new(spec.trigger, spec.seed)),
-                FaultKind::TwoFaced => Box::new(TwoFaced::new(spec.trigger, spec.seed)),
-                FaultKind::DropMessages => Box::new(MessageDropper::new(spec.trigger, spec.seed)),
-                FaultKind::Crash => Box::new(Crash::new(spec.trigger.from)),
-                FaultKind::StuckStale => Box::new(StuckStale::<M>::new(spec.trigger, spec.seed)),
-                FaultKind::DelayMessages => Box::new(Delayer::<M>::new(spec.trigger, spec.seed)),
-                FaultKind::RandomByzantine => {
-                    Box::new(RandomByzantine::<M>::new(spec.trigger, spec.seed))
-                }
-            };
-            set.install(spec.node, adversary);
+            set.install(spec.node, spec.build_adversary::<M>(spec.seed));
         }
         set
     }
@@ -219,12 +237,12 @@ mod tests {
                 seed: i as u64,
             });
         }
-        let set = plan.build::<Word>(8);
-        assert_eq!(set.fault_count(), 7);
-        for i in 0..7 {
+        let set = plan.build::<Word>(16);
+        assert_eq!(set.fault_count(), 9);
+        for i in 0..9 {
             assert!(set.is_faulty(NodeId::new(i)));
         }
-        assert!(!set.is_faulty(NodeId::new(7)));
+        assert!(!set.is_faulty(NodeId::new(9)));
     }
 
     #[test]

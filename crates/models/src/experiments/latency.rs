@@ -73,7 +73,7 @@ fn detection_fraction(
         .recv_timeout(std::time::Duration::from_millis(400))
         .run();
     match result {
-        Err(SortError::Detected { reports }) => {
+        Err(SortError::Detected { reports, .. }) => {
             let first = reports.first()?;
             Some(first.at.as_ticks_f64() / baseline_ticks)
         }

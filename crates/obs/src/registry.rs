@@ -137,6 +137,15 @@ pub struct Registry {
     pub quarantined_nodes: Gauge,
     /// Submit→completion latency of completed jobs.
     pub job_latency: Histogram,
+    /// Effort billed to finished jobs: node-ticks over every attempt,
+    /// fail-stopped ones included.
+    pub job_effort: Counter,
+
+    // --- adversary harness (aoft-adv) ---
+    /// Frames mutated by a live-wire adversary, by fault kind.
+    pub adv_mutations: Family,
+    /// Frames suppressed by a live-wire adversary, by fault kind.
+    pub adv_drops: Family,
 
     // --- sort core (aoft-sort) ---
     /// Constraint-predicate evaluations, by predicate family.
@@ -194,6 +203,9 @@ impl Registry {
             inflight_jobs: Gauge::default(),
             quarantined_nodes: Gauge::default(),
             job_latency: Histogram::new(),
+            job_effort: Counter::default(),
+            adv_mutations: Family::new("fault"),
+            adv_drops: Family::new("fault"),
             predicate_checks: Family::new("predicate"),
             predicate_check_time: Histogram::new(),
             violations: Family::new("predicate"),
@@ -289,6 +301,24 @@ impl Registry {
             "aoft_job_latency_seconds",
             "Submit-to-completion latency of completed jobs.",
             &self.job_latency,
+        );
+        counter(
+            &mut out,
+            "aoft_job_effort_ticks_total",
+            "Effort billed to finished jobs: node-ticks over every attempt.",
+            &self.job_effort,
+        );
+        family(
+            &mut out,
+            "aoft_adv_mutations_total",
+            "Frames mutated by a live-wire adversary, by fault kind.",
+            &self.adv_mutations,
+        );
+        family(
+            &mut out,
+            "aoft_adv_drops_total",
+            "Frames suppressed by a live-wire adversary, by fault kind.",
+            &self.adv_drops,
         );
         family(
             &mut out,
@@ -514,6 +544,9 @@ mod tests {
             "aoft_violations_total{predicate=\"phi_p\"}",
             "aoft_net_bytes_sent_total{link=\"0→1#0\"}",
             "aoft_net_peer_dead_total 0",
+            "aoft_job_effort_ticks_total",
+            "aoft_adv_mutations_total 0",
+            "aoft_adv_drops_total 0",
         ] {
             assert!(text.contains(name), "missing {name} in:\n{text}");
         }

@@ -57,7 +57,8 @@ record options:
   --events                                  capture the full event trace
   --fault NODE:KIND:SEED[:FROM_SEQ]         inject a fault (repeatable);
                                             KIND: corrupt|two-faced|drop|
-                                            crash|stale|delay|byzantine
+                                            crash|stale|delay|byzantine|
+                                            equivocate|corrupt-lbs
 ";
 
 fn cmd_record(args: &[String]) -> Result<(), String> {
@@ -187,6 +188,8 @@ fn parse_fault(s: &str) -> Result<(u32, FaultKind, u64, Option<u64>), String> {
         "stale" => FaultKind::StuckStale,
         "delay" => FaultKind::DelayMessages,
         "byzantine" => FaultKind::RandomByzantine,
+        "equivocate" => FaultKind::Equivocate,
+        "corrupt-lbs" => FaultKind::CorruptLbs,
         other => return Err(format!("--fault: unknown kind `{other}`")),
     };
     let seed = parse(parts[2], "--fault SEED")?;

@@ -52,7 +52,15 @@ use serde::{Deserialize, Serialize};
 
 /// Trace format version written by this build; readers reject anything
 /// newer.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// History:
+/// * **v1** — initial format.
+/// * **v2** — [`FaultPlan`] gained the Byzantine fault kinds `equivocate`
+///   and `corrupt-lbs` (each with its explicit adversary seed). v1 traces
+///   are a strict subset of v2 and still load and verify; a v2 trace using
+///   a new kind is rejected by v1 readers via its schema number instead of
+///   being misparsed.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Everything needed to (re-)execute one deterministic run.
 #[derive(Debug, Clone, PartialEq)]
@@ -363,7 +371,9 @@ fn execute(
                 events,
             ))
         }
-        Err(SortError::Detected { reports }) => Ok((RecordedOutcome::FailStop { reports }, None)),
+        Err(SortError::Detected { reports, .. }) => {
+            Ok((RecordedOutcome::FailStop { reports }, None))
+        }
         Err(err) => Err(ReplayError::InvalidSpec(err.to_string())),
     }
 }
@@ -600,6 +610,38 @@ mod tests {
         let report = verify(&trace).unwrap();
         assert!(!report.is_bit_exact());
         assert!(report.to_string().contains("output diverges at index 0"));
+    }
+
+    #[test]
+    fn v1_trace_still_loads_and_verifies() {
+        // A v1 trace is a strict subset of the v2 format: same fields, only
+        // the v1-era fault kinds. Re-stamping a v1 schema number on such a
+        // trace must round-trip and verify unchanged.
+        let spec = RecordSpec::new(Algorithm::FaultTolerant, (0..16).rev().collect())
+            .nodes(16)
+            .fault_plan(corrupt_plan());
+        let mut trace = record(spec).unwrap();
+        trace.schema = 1;
+        let back = from_json(&to_json(&trace)).unwrap();
+        assert_eq!(back.schema, 1);
+        let report = verify(&back).unwrap();
+        assert!(report.is_bit_exact(), "{report}");
+    }
+
+    #[test]
+    fn byzantine_kinds_record_and_verify_bit_exact() {
+        // The v2 additions: equivocation and check-metadata corruption
+        // replay bit-exactly from their recorded seeds.
+        for kind in [FaultKind::Equivocate, FaultKind::CorruptLbs] {
+            let plan = FaultPlan::new().with_fault(NodeId::new(2), kind, Trigger::from_seq(1), 77);
+            let spec = RecordSpec::new(Algorithm::FaultTolerant, (0..16).rev().collect())
+                .nodes(8)
+                .fault_plan(plan);
+            let trace = record(spec).unwrap();
+            assert_eq!(trace.schema, SCHEMA_VERSION);
+            let report = verify(&trace).unwrap();
+            assert!(report.is_bit_exact(), "{kind}: {report}");
+        }
     }
 
     #[test]

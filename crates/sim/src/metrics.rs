@@ -40,6 +40,14 @@ impl NodeMetrics {
         self.send_time + self.idle_time
     }
 
+    /// Effort: total virtual node-time consumed (send + idle + compute), in
+    /// ticks. In the Dwork–Halpern–Waarts sense this is *work*, not
+    /// latency — over merged attempts it accumulates the cost of retried
+    /// work rather than taking the makespan.
+    pub fn effort(&self) -> u64 {
+        (self.send_time + self.idle_time + self.compute_time).as_ticks()
+    }
+
     /// Merges counters (summing times and counts, taking the max clock).
     pub fn merge(&mut self, other: &NodeMetrics) {
         self.msgs_sent += other.msgs_sent;
@@ -130,6 +138,14 @@ impl RunMetrics {
     pub fn node_total(&self) -> NodeMetrics {
         self.nodes.iter().copied().sum()
     }
+
+    /// Total effort across all nodes (excluding the host), in ticks: the
+    /// sum of every node's send, idle, and compute time. Summed over retry
+    /// attempts this is the run's total node-step bill, including work that
+    /// a fail-stop discarded.
+    pub fn effort(&self) -> u64 {
+        self.nodes.iter().map(NodeMetrics::effort).sum()
+    }
 }
 
 #[cfg(test)]
@@ -154,6 +170,16 @@ mod tests {
     #[test]
     fn comm_time_is_send_plus_idle() {
         assert_eq!(metric(8).comm_time(), Ticks::from_ticks(5));
+    }
+
+    #[test]
+    fn effort_sums_all_node_time_and_skips_host() {
+        assert_eq!(metric(8).effort(), 8);
+        let run = RunMetrics {
+            nodes: vec![metric(5), metric(9)],
+            host: metric(20),
+        };
+        assert_eq!(run.effort(), 16);
     }
 
     #[test]

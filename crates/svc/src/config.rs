@@ -31,7 +31,9 @@ pub struct SvcConfig {
     pub min_dim: u32,
     /// Distinct failed jobs striking a node before it is quarantined
     /// service-wide (struck nodes are always avoided *within* the striking
-    /// job regardless).
+    /// job regardless). `u32::MAX` disables quarantine entirely — even a
+    /// Φ_C equivocation proof only feeds the per-job avoid set — for
+    /// harnesses that rotate transient faults through every node.
     pub quarantine_after: u32,
     /// Initial inter-attempt backoff delay (doubles per retry).
     pub backoff_initial: Duration,

@@ -91,6 +91,11 @@ pub struct JobReport {
     pub latency: Duration,
     /// Merged per-node simulator counters of the successful attempt.
     pub metrics: NodeMetrics,
+    /// Total effort billed to this job, in ticks: node-time (send + idle +
+    /// compute) summed over *every* attempt, including fail-stopped ones —
+    /// the Dwork–Halpern–Waarts-style work measure, as opposed to
+    /// `latency` (the client-visible makespan).
+    pub effort: u64,
     /// Event trace of the successful attempt (empty unless the spec set
     /// [`JobSpec::capture_trace`]).
     pub trace: Trace,

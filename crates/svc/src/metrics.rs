@@ -31,6 +31,7 @@ struct MetricsState {
     failed: u64,
     retries: u64,
     recovered_jobs: u64,
+    effort: u64,
     sim: NodeMetrics,
 }
 
@@ -45,7 +46,7 @@ impl MetricsSink {
         aoft_obs::global().jobs_rejected.inc();
     }
 
-    pub fn job_completed(&self, latency: Duration, retries: u64, sim: &NodeMetrics) {
+    pub fn job_completed(&self, latency: Duration, retries: u64, effort: u64, sim: &NodeMetrics) {
         {
             let mut state = self.state.lock();
             state.completed += 1;
@@ -53,6 +54,7 @@ impl MetricsSink {
             if retries > 0 {
                 state.recovered_jobs += 1;
             }
+            state.effort += effort;
             state.sim.merge(sim);
         }
         self.latency.record(latency);
@@ -62,18 +64,21 @@ impl MetricsSink {
         if retries > 0 {
             reg.jobs_recovered.inc();
         }
+        reg.job_effort.add(effort);
         reg.job_latency.record(latency);
     }
 
-    pub fn job_failed(&self, retries: u64) {
+    pub fn job_failed(&self, retries: u64, effort: u64) {
         {
             let mut state = self.state.lock();
             state.failed += 1;
             state.retries += retries;
+            state.effort += effort;
         }
         let reg = aoft_obs::global();
         reg.jobs_failed.inc();
         reg.job_retries.add(retries);
+        reg.job_effort.add(effort);
     }
 
     pub fn snapshot(&self, queue_depth: usize, quarantined: Vec<u32>) -> SvcMetrics {
@@ -85,6 +90,7 @@ impl MetricsSink {
             jobs_failed: state.failed,
             retries: state.retries,
             recovered_jobs: state.recovered_jobs,
+            effort: state.effort,
             queue_depth,
             quarantined,
             latency_p50: self.latency.percentile(50),
@@ -110,6 +116,10 @@ pub struct SvcMetrics {
     pub retries: u64,
     /// Completed jobs that needed at least one retry.
     pub recovered_jobs: u64,
+    /// Total effort billed across all finished jobs, in ticks: node-time
+    /// over every attempt, fail-stopped ones included (retried work is
+    /// billed, not hidden).
+    pub effort: u64,
     /// Jobs waiting in the queue at snapshot time.
     pub queue_depth: usize,
     /// Physical node labels currently quarantined service-wide.
@@ -136,7 +146,7 @@ mod tests {
         let sink = MetricsSink::default();
         let ms = |n: u64| Duration::from_millis(n);
         for _ in 0..3 {
-            sink.job_completed(ms(7), 0, &NodeMetrics::default());
+            sink.job_completed(ms(7), 0, 0, &NodeMetrics::default());
         }
         let snap = sink.snapshot(0, vec![]);
         assert_eq!(snap.latency_p50, ms(7));
@@ -149,7 +159,7 @@ mod tests {
         let sink = MetricsSink::default();
         let ms = |n: u64| Duration::from_millis(n);
         for n in 1..=100 {
-            sink.job_completed(ms(n), 0, &NodeMetrics::default());
+            sink.job_completed(ms(n), 0, 0, &NodeMetrics::default());
         }
         let snap = sink.snapshot(0, vec![]);
         // Bucketed percentiles: within the nearest-rank sample's bucket.
@@ -169,8 +179,8 @@ mod tests {
             msgs_sent: 3,
             ..NodeMetrics::default()
         };
-        sink.job_completed(Duration::from_millis(5), 2, &sim);
-        sink.job_failed(1);
+        sink.job_completed(Duration::from_millis(5), 2, 40, &sim);
+        sink.job_failed(1, 15);
         let snap = sink.snapshot(4, vec![5]);
         assert_eq!(snap.jobs_submitted, 2);
         assert_eq!(snap.jobs_rejected, 1);
@@ -178,6 +188,7 @@ mod tests {
         assert_eq!(snap.jobs_failed, 1);
         assert_eq!(snap.retries, 3);
         assert_eq!(snap.recovered_jobs, 1);
+        assert_eq!(snap.effort, 55, "completed and failed effort both bill");
         assert_eq!(snap.queue_depth, 4);
         assert_eq!(snap.quarantined, vec![5]);
         assert_eq!(snap.latency_p50, Duration::from_millis(5));

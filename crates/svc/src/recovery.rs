@@ -105,6 +105,15 @@ impl Recovery {
     /// to the retry (and, for persistent faults, to the sharper dead-link
     /// evidence repeat failures produce). The broad union of an
     /// inconsistent report set is never struck for the same reason.
+    ///
+    /// One evidence class is stronger than a strike: a Φ_C *equivocation
+    /// proof*. When the detection site reports a consistency violation with
+    /// a named suspect, the disagreeing entry was the sender's *own* —
+    /// vertex-disjoint copies of it share only the owner (Lemma 6), so the
+    /// sender was caught contradicting itself about its own value. That
+    /// node is quarantined directly, bypassing the repeat-offender
+    /// threshold: an equivocator that survives to a retry gets another
+    /// chance to poison a fresh subcube.
     pub fn record_failure(&self, reports: &[ErrorReport], plan: &CubePlan) -> FailureVerdict {
         if reports.is_empty() {
             return FailureVerdict {
@@ -116,23 +125,58 @@ impl Recovery {
             from: aoft_hypercube::NodeId::new(0),
         }
         .code();
+        let equivocation = equivocation_codes();
         let diagnosis = diagnose(reports, plan.dim);
         let mut logical: BTreeSet<usize> = BTreeSet::new();
+        let mut proven: BTreeSet<usize> = BTreeSet::new();
         for report in reports {
             if let Some(suspect) = report.suspect {
+                // Fail-stop cascades echo: once the first detector
+                // fail-stops, every partner still waiting on it times out
+                // and accuses the now-silent node, and those partners'
+                // fail-stops trigger accusations in turn. An accusation is
+                // an echo — a reaction to the protocol's own fail-stop, not
+                // independent evidence — when its suspect is already on
+                // record as a detector at a strictly earlier tick: the
+                // suspect was demonstrably alive and vigilant then, so its
+                // later silence is the fail-stop contract at work. Striking
+                // echoes would let one fault implicate half the machine.
+                // The genuinely faulty stay covered: a crashed node never
+                // files a report, and a Byzantine node that fabricates an
+                // early accusation to immunize itself strikes its own link
+                // pair by filing it (case 2a strikes both endpoints).
+                if report.code == dead_link
+                    && reports
+                        .iter()
+                        .any(|prior| prior.detector == suspect && prior.at < report.at)
+                {
+                    continue;
+                }
                 logical.insert(suspect.index());
                 if report.code == dead_link {
                     logical.insert(report.detector.index());
+                }
+                if equivocation.contains(&report.code) {
+                    proven.insert(suspect.index());
                 }
             }
         }
         if diagnosis.is_consistent() && diagnosis.suspects().len() <= 2 {
             logical.extend(diagnosis.suspects().iter().map(|node| node.index()));
         }
+        let proven: BTreeSet<u32> = proven
+            .into_iter()
+            .filter_map(|index| plan.map.get(index).copied())
+            .collect();
         let suspects: Vec<u32> = logical
             .into_iter()
             .filter_map(|index| plan.map.get(index).copied())
             .collect();
+        // `u32::MAX` is the documented "quarantine disabled" sentinel
+        // (soak harnesses rotate transient faults through every node, where
+        // eviction would exhaust the cube). Suspects still feed the per-job
+        // avoid set either way; only the service-wide eviction is gated.
+        let disabled = self.quarantine_after == u32::MAX;
         let mut newly_quarantined = Vec::new();
         let mut state = self.state.lock();
         for &label in &suspects {
@@ -140,8 +184,12 @@ impl Recovery {
                 continue;
             }
             let strikes = state.strikes.entry(label).or_insert(0);
-            *strikes += 1;
-            if *strikes >= self.quarantine_after {
+            *strikes = (*strikes).saturating_add(1);
+            if proven.contains(&label) {
+                // Equivocation proof: saturate past the threshold.
+                *strikes = (*strikes).max(self.quarantine_after);
+            }
+            if !disabled && *strikes >= self.quarantine_after {
                 state.quarantined.insert(label);
                 newly_quarantined.push(label);
             }
@@ -156,6 +204,27 @@ impl Recovery {
     pub fn quarantined(&self) -> Vec<u32> {
         self.state.lock().quarantined.iter().copied().collect()
     }
+}
+
+/// The violation codes whose named suspect constitutes an equivocation
+/// proof: the Φ_C checks fire them only when a sender's *own* entry
+/// disagreed with (or was missing from) a vertex-disjoint copy.
+fn equivocation_codes() -> [u32; 2] {
+    let probe = aoft_hypercube::NodeId::new(0);
+    [
+        Violation::Inconsistent {
+            stage: 0,
+            step: 0,
+            entry: probe,
+        }
+        .code(),
+        Violation::MissingEntry {
+            stage: 0,
+            step: 0,
+            entry: probe,
+        }
+        .code(),
+    ]
 }
 
 #[cfg(test)]
@@ -246,6 +315,106 @@ mod tests {
         let verdict = recovery.record_failure(&reports, &plan);
         assert_eq!(verdict.suspects, vec![5]);
         assert_eq!(recovery.quarantined(), vec![5]);
+    }
+
+    #[test]
+    fn equivocation_proof_quarantines_immediately() {
+        // quarantine_after = 2, but a Φ_C equivocation proof (a consistency
+        // violation naming the self-contradicting sender) bypasses the
+        // repeat-offender threshold.
+        let recovery = Recovery::new(3, 1, 2);
+        let plan = recovery.plan(&BTreeSet::new()).unwrap();
+        let verdict = recovery.record_failure(&[bad_value(1, 5)], &plan);
+        assert_eq!(verdict.suspects, vec![5]);
+        assert_eq!(verdict.newly_quarantined, vec![5]);
+        assert_eq!(recovery.quarantined(), vec![5]);
+    }
+
+    #[test]
+    fn cascade_echo_accusations_are_not_evidence() {
+        // P1 catches crashed P5 at tick 10 and fail-stops; P3 then times
+        // out on the now-silent P1 (tick 70), and P6 on the now-silent P3
+        // (tick 130). Only the root accusation may strike: P1 and P3 were
+        // detectors at earlier ticks, so their silence is the fail-stop
+        // contract, not a fault. Without the filter one crash would strike
+        // six of eight nodes.
+        let recovery = Recovery::new(3, 1, 1);
+        let plan = recovery.plan(&BTreeSet::new()).unwrap();
+        let at = |report: ErrorReport, tick: u64| ErrorReport {
+            at: Ticks::from_ticks(tick),
+            ..report
+        };
+        let reports = [
+            at(missing_message(1, 5), 10),
+            at(missing_message(3, 1), 70),
+            at(missing_message(6, 3), 130),
+        ];
+        let verdict = recovery.record_failure(&reports, &plan);
+        assert_eq!(verdict.suspects, vec![1, 5], "root link pair only");
+        assert_eq!(recovery.quarantined(), vec![1, 5]);
+    }
+
+    #[test]
+    fn simultaneous_mutual_accusations_strike_the_pair() {
+        // Both endpoints of one dead link time out on each other at the
+        // same tick. Neither accusation is an echo (no strictly earlier
+        // report), so the pair is struck symmetrically — case 2a.
+        let recovery = Recovery::new(3, 1, 1);
+        let plan = recovery.plan(&BTreeSet::new()).unwrap();
+        let reports = [missing_message(4, 5), missing_message(5, 4)];
+        let verdict = recovery.record_failure(&reports, &plan);
+        assert_eq!(verdict.suspects, vec![4, 5]);
+    }
+
+    #[test]
+    fn max_threshold_disables_quarantine_even_for_proofs() {
+        // `u32::MAX` is the "quarantine disabled" sentinel: a soak harness
+        // rotating transient faults through every node must never evict
+        // hardware service-wide, yet the suspect still feeds the per-job
+        // avoid set so the striking job retries around it.
+        let recovery = Recovery::new(3, 1, u32::MAX);
+        let plan = recovery.plan(&BTreeSet::new()).unwrap();
+        for _ in 0..3 {
+            let verdict = recovery.record_failure(&[bad_value(1, 5)], &plan);
+            assert_eq!(verdict.suspects, vec![5]);
+            assert!(verdict.newly_quarantined.is_empty());
+        }
+        assert!(recovery.quarantined().is_empty());
+    }
+
+    #[test]
+    fn missing_message_still_needs_repeat_evidence() {
+        // Contrast with the equivocation proof: a dead-link accusation is
+        // ambiguous (Definition 3 case 2a) and must recur before anyone is
+        // quarantined.
+        let recovery = Recovery::new(3, 1, 2);
+        let plan = recovery.plan(&BTreeSet::new()).unwrap();
+        let verdict = recovery.record_failure(&[missing_message(1, 5)], &plan);
+        assert!(verdict.newly_quarantined.is_empty());
+        assert!(recovery.quarantined().is_empty());
+    }
+
+    #[test]
+    fn equivocation_attribution_is_deterministic() {
+        // The same synthetic Φ_C evidence must produce the same verdict on
+        // every fresh recovery state — replay depends on it.
+        let reports = [bad_value(1, 3), bad_value(6, 3), missing_message(2, 4)];
+        let mut verdicts = Vec::new();
+        for _ in 0..3 {
+            let recovery = Recovery::new(3, 1, 2);
+            let plan = recovery.plan(&BTreeSet::new()).unwrap();
+            let v = recovery.record_failure(&reports, &plan);
+            verdicts.push((v.suspects, v.newly_quarantined, recovery.quarantined()));
+        }
+        assert_eq!(verdicts[0], verdicts[1]);
+        assert_eq!(verdicts[1], verdicts[2]);
+        let (suspects, quarantined, _) = &verdicts[0];
+        assert!(suspects.contains(&3), "the equivocator is a suspect");
+        assert_eq!(
+            quarantined,
+            &vec![3],
+            "only the proven equivocator is quarantined on first evidence"
+        );
     }
 
     #[test]

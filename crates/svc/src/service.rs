@@ -216,17 +216,18 @@ where
 {
     while let Some(job) = inner.queue.pop() {
         aoft_obs::global().inflight_jobs.add(1);
-        let result = run_job(&inner, slot, &job);
+        let (result, effort) = run_job(&inner, slot, &job);
         aoft_obs::global().inflight_jobs.add(-1);
         match &result {
             Ok(report) => inner.metrics.job_completed(
                 report.latency,
                 (report.attempts - 1) as u64,
+                effort,
                 &report.metrics,
             ),
             Err(_) => inner
                 .metrics
-                .job_failed(inner.config.max_attempts.saturating_sub(1) as u64),
+                .job_failed(inner.config.max_attempts.saturating_sub(1) as u64, effort),
         }
         let _ = job.reply.send(result);
     }
@@ -234,7 +235,11 @@ where
 
 /// One job's attempt loop: plan cube → run → on fail-stop diagnose, strike,
 /// back off, retry degraded.
-fn run_job<T>(inner: &Inner<T>, slot: usize, job: &QueuedJob) -> Result<JobReport, JobError>
+///
+/// The second return value is the job's total effort in ticks — node-time
+/// summed over every attempt, fail-stopped ones included, so the cost of
+/// retried work is billed whether or not the job ultimately succeeds.
+fn run_job<T>(inner: &Inner<T>, slot: usize, job: &QueuedJob) -> (Result<JobReport, JobError>, u64)
 where
     T: Transport<Packet<Msg>> + Send + Sync + 'static,
 {
@@ -245,6 +250,7 @@ where
     let mut avoid: BTreeSet<u32> = BTreeSet::new();
     let mut detections: Vec<Vec<ErrorReport>> = Vec::new();
     let mut backoff = Backoff::new(config.backoff_initial, config.backoff_max);
+    let mut effort: u64 = 0;
 
     for attempt in 0..config.max_attempts {
         if attempt > 0 {
@@ -253,21 +259,37 @@ where
                 std::thread::sleep(delay);
             }
         }
-        let plan = inner
-            .recovery
-            .plan(&avoid)
-            .map_err(|healthy| JobError::CubeExhausted {
-                healthy,
-                min_dim: config.min_dim,
-            })?;
+        if attempt > 0 && inner.recovery.plan(&avoid).is_err() {
+            // The job-local avoid set has outgrown the machine: a timeout
+            // cascade implicated more nodes than any single fault can.
+            // A clean retry on whatever the service still trusts beats
+            // refusing the job — transient congestion clears, and a
+            // persistent fault re-detects loudly on the fresh attempt.
+            avoid.clear();
+        }
+        let plan = match inner.recovery.plan(&avoid) {
+            Ok(plan) => plan,
+            Err(healthy) => {
+                return (
+                    Err(JobError::CubeExhausted {
+                        healthy,
+                        min_dim: config.min_dim,
+                    }),
+                    effort,
+                )
+            }
+        };
         let nodes = 1usize << plan.dim;
         if job.spec.keys.len() % nodes != 0 {
             // Unreachable after the submit-side check (degraded cubes are
             // smaller powers of two), kept as defense in depth.
-            return Err(JobError::Invalid(format!(
-                "{} keys do not divide over the degraded {nodes}-node cube",
-                job.spec.keys.len()
-            )));
+            return (
+                Err(JobError::Invalid(format!(
+                    "{} keys do not divide over the degraded {nodes}-node cube",
+                    job.spec.keys.len()
+                ))),
+                effort,
+            );
         }
         let run_id = inner.next_run.fetch_add(1, Ordering::Relaxed) + 1;
         aoft_obs::global().attempts.inc();
@@ -295,23 +317,32 @@ where
         }
         match std::panic::catch_unwind(AssertUnwindSafe(|| builder.run_on(transport))) {
             Ok(Ok(report)) => {
+                effort += report.metrics().effort();
                 let mut merged = NodeMetrics::default();
                 for node in &report.metrics().nodes {
                     merged.merge(node);
                 }
                 merged.merge(&report.metrics().host);
-                return Ok(JobReport {
-                    id: job.id,
-                    output: report.output().to_vec(),
-                    attempts: attempt + 1,
-                    dim: plan.dim,
-                    detections,
-                    latency: job.submitted_at.elapsed(),
-                    metrics: merged,
-                    trace: report.trace().clone(),
-                });
+                return (
+                    Ok(JobReport {
+                        id: job.id,
+                        output: report.output().to_vec(),
+                        attempts: attempt + 1,
+                        dim: plan.dim,
+                        detections,
+                        latency: job.submitted_at.elapsed(),
+                        metrics: merged,
+                        effort,
+                        trace: report.trace().clone(),
+                    }),
+                    effort,
+                );
             }
-            Ok(Err(SortError::Detected { reports })) => {
+            Ok(Err(SortError::Detected {
+                reports,
+                effort: wasted,
+            })) => {
+                effort += wasted;
                 aoft_obs::emit(
                     aoft_obs::Event::new("attempt_failstop")
                         .job(job.id.0)
@@ -321,14 +352,17 @@ where
                 digest_failure(inner, &reports, &plan, &mut avoid);
                 detections.push(reports);
             }
-            Ok(Err(err)) => return Err(JobError::Invalid(err.to_string())),
-            Err(payload) => return Err(JobError::Runtime(panic_message(payload))),
+            Ok(Err(err)) => return (Err(JobError::Invalid(err.to_string())), effort),
+            Err(payload) => return (Err(JobError::Runtime(panic_message(payload))), effort),
         }
     }
-    Err(JobError::Exhausted {
-        attempts: config.max_attempts,
-        detections,
-    })
+    (
+        Err(JobError::Exhausted {
+            attempts: config.max_attempts,
+            detections,
+        }),
+        effort,
+    )
 }
 
 /// Feeds one fail-stopped attempt to the service's fault memory: the job
@@ -480,6 +514,10 @@ mod tests {
         assert_eq!(report.output, sorted(input), "never silently wrong");
         assert!(report.recovered(), "first attempt must fail-stop");
         assert!(report.dim < 3, "retry runs degraded");
+        assert!(
+            report.effort > report.metrics.effort(),
+            "effort bills the fail-stopped attempt on top of the successful one"
+        );
         let quarantined = service.quarantined();
         assert!(
             !quarantined.is_empty(),
@@ -504,6 +542,7 @@ mod tests {
         assert_eq!(snap.jobs_completed, 2);
         assert!(snap.retries >= 1);
         assert_eq!(snap.recovered_jobs, 1);
+        assert!(snap.effort > 0, "service-wide effort accumulates");
     }
 
     #[test]

@@ -39,7 +39,7 @@ fn main() {
                 assert_eq!(report.output(), expected, "Theorem 3 would be violated!");
                 println!("{kind:<18} -> completed correctly (fault absorbed)");
             }
-            Err(SortError::Detected { reports }) => {
+            Err(SortError::Detected { reports, .. }) => {
                 let first = &reports[0];
                 let diagnosis = aoft::sort::diagnosis::diagnose(&reports, 4);
                 println!(

@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let faulty = FaultyTransport::new(loopback_cluster(8)?, 0xA0F7).fault_sender(5, kill);
     match sft_builder(keys, 8).run_on(faulty) {
         Ok(_) => unreachable!("a silenced peer must not yield a sorted result"),
-        Err(SortError::Detected { reports }) => {
+        Err(SortError::Detected { reports, .. }) => {
             println!(
                 "killed run: fail-stop with {} error report(s):",
                 reports.len()

@@ -26,6 +26,9 @@
 //! * [`replay`] — deterministic record/replay: schema-versioned run traces
 //!   that re-execute bit-exactly on the cooperative scheduler
 //!   (`aoft-replay verify <trace>`).
+//! * [`adv`] — live-fire Byzantine adversaries over the real wire: semantic
+//!   fault injection at the codec boundary of any transport, plus the
+//!   `aoft-adv campaign` zero-silent-corruption gate.
 //!
 //! # Quickstart
 //!
@@ -46,6 +49,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use aoft_adv as adv;
 pub use aoft_faults as faults;
 pub use aoft_hypercube as hypercube;
 pub use aoft_models as models;

@@ -9,3 +9,15 @@ pub fn sorted(keys: &[i32]) -> Vec<i32> {
     expected.sort_unstable();
     expected
 }
+
+/// Deterministic scattered keys: a multiplicative hash over `0..count`,
+/// folded into `i16` range. `seed` varies the sequence between tests that
+/// should not share data.
+pub fn scattered_keys(count: usize, seed: u64) -> Vec<i32> {
+    (0..count as i64)
+        .map(|x| {
+            let mixed = x.wrapping_add(seed as i64).wrapping_mul(2_654_435_761);
+            (mixed % 65_536 - 32_768) as i32
+        })
+        .collect()
+}

@@ -60,8 +60,8 @@ fn exhaustive_single_fault_sweep() {
             }
         }
     }
-    // 7 kinds × 4 nodes × 4 positions × 2 seeds = 224 trials, zero escapes.
-    assert_eq!(trials, 224);
+    // 9 kinds × 4 nodes × 4 positions × 2 seeds = 288 trials, zero escapes.
+    assert_eq!(trials, 288);
     assert!(
         detected > 60,
         "most single-shot faults manifest and are caught ({detected}/{trials})"

@@ -227,7 +227,7 @@ fn detection_reports_identify_a_predicate() {
         .fault_plan(plan)
         .run()
     {
-        Err(SortError::Detected { reports }) => {
+        Err(SortError::Detected { reports, .. }) => {
             assert!(!reports.is_empty());
             for report in &reports {
                 assert!((1..=9).contains(&report.code), "report: {report}");

@@ -64,11 +64,14 @@ fn diagnosis_intersects_across_attempts() {
             attempt as u64 * 31 + 7,
         )
     };
-    let Err(SortError::Detected { reports: first }) = builder().fault_plan(environment(0)).run()
+    let Err(SortError::Detected { reports: first, .. }) =
+        builder().fault_plan(environment(0)).run()
     else {
         panic!("attempt 0 must fail");
     };
-    let Err(SortError::Detected { reports: second }) = builder().fault_plan(environment(1)).run()
+    let Err(SortError::Detected {
+        reports: second, ..
+    }) = builder().fault_plan(environment(1)).run()
     else {
         panic!("attempt 1 must fail");
     };

@@ -29,7 +29,8 @@ fn soak_config() -> SvcConfig {
     // Strikes may accumulate across hundreds of injected faults, but the
     // faults are transient (first attempt only) and rotate through every
     // node — quarantining would evict healthy hardware and eventually
-    // exhaust the cube, so the threshold is set out of reach.
+    // exhaust the cube, so `u32::MAX` disables it (the documented sentinel,
+    // which also gates the Φ_C equivocation-proof fast path).
     SvcConfig::new(DIM)
         .workers(2)
         .max_attempts(4)

@@ -209,6 +209,9 @@ fn metrics_endpoint_serves_prometheus_exposition() {
         "aoft_net_bytes_received_total",
         "aoft_net_heartbeat_misses_total",
         "aoft_net_peer_dead_total",
+        "aoft_job_effort_ticks_total",
+        "aoft_adv_mutations_total",
+        "aoft_adv_drops_total",
         "aoft_buf_pool_leases_total",
         "aoft_buf_pool_outstanding",
         "aoft_buf_pool_high_water",

@@ -43,7 +43,7 @@ fn killed_peer_fail_stops_with_error_report() {
     let faulty = FaultyTransport::new(tcp(), 3).fault_sender(5, kill);
     match builder(keys).run_on(faulty) {
         Ok(_) => panic!("a silenced peer must not produce a sorted result"),
-        Err(SortError::Detected { reports }) => {
+        Err(SortError::Detected { reports, .. }) => {
             assert!(!reports.is_empty(), "fail-stop must carry diagnostics");
             // Receiver-side detection: the violation is a missing message
             // observed by a healthy node, not a sender-side I/O error.
