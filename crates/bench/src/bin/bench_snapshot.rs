@@ -20,13 +20,18 @@
 use std::collections::BTreeMap;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
+use std::time::Duration;
+
+use aoft_faults::{FaultyTransport, LinkFault};
 use aoft_hypercube::NodeId;
 use aoft_net::frame::{decode_frame_body, encode_frame, frame_header, FrameKind};
 use aoft_net::wire::from_bytes;
-use aoft_net::{pool, InProc, Wire};
+use aoft_net::{
+    pool, CancelToken, InProc, LinkId, ReactorConfig, ReactorTransport, Transport, Wire,
+};
 use aoft_sort::predicates::{bit_compare_stage, bit_compare_stage_with, PredicateScratch};
 use aoft_sort::{Block, LbsBuffer, LbsWire, MergeScratch, Msg};
-use aoft_svc::{JobSpec, SortService, SvcConfig};
+use aoft_svc::{FleetConfig, FleetRouter, JobSpec, SortService, SvcConfig};
 use serde::{Deserialize, Serialize};
 
 /// Snapshot document version; bump only on incompatible shape changes.
@@ -173,6 +178,34 @@ fn take_snapshot(quick: bool) -> Snapshot {
     metrics.insert("service_job_latency".to_string(), latency);
     metrics.insert("service_job_effort".to_string(), effort);
 
+    // Reactor transport: one-frame round trip over real loopback sockets
+    // multiplexed onto the fixed reactor pool — the per-hop latency cost of
+    // trading thread-per-link for O(reactors) threads.
+    metrics.insert(
+        "reactor_rtt".to_string(),
+        reactor_rtt(if quick { 20 } else { 60 }, 10),
+    );
+
+    // The tentpole claim as a gated number: OS threads the reactor backend
+    // adds to the process for an 8-link transport. Thread-per-link would
+    // put 16 here; a regression to that shape fails the gate loudly.
+    metrics.insert("transport_threads".to_string(), transport_threads(8));
+
+    // Fleet throughput, clean vs degraded: jobs/second through a 2-cube
+    // router, then through the same fleet after one cube's quarantine
+    // shrank it out of the rotation. Higher is better — the compare gate
+    // inverts direction on the jobs_per_sec unit.
+    let fleet_jobs = if quick { 12 } else { 32 };
+    let fleet_samples = if quick { 4 } else { 8 };
+    metrics.insert(
+        "fleet_jobs_per_sec_clean".to_string(),
+        fleet_throughput(fleet_jobs, fleet_samples, false),
+    );
+    metrics.insert(
+        "fleet_jobs_per_sec_degraded".to_string(),
+        fleet_throughput(fleet_jobs, fleet_samples, true),
+    );
+
     Snapshot {
         schema: SCHEMA,
         git_sha: git_sha(),
@@ -235,6 +268,157 @@ fn service_latencies(jobs: usize) -> (Metric, Metric) {
     let mut effort_metric = summarize(&mut efforts);
     effort_metric.unit = "ticks".to_string();
     (summarize(&mut timings), effort_metric)
+}
+
+/// Median/p99 of a one-frame ping-pong over a loopback reactor transport:
+/// tx queue → reactor write → socket → reactor read → echo, and back.
+fn reactor_rtt(samples: usize, batch: usize) -> Metric {
+    let transport = ReactorTransport::bind(ReactorConfig::default()).expect("bind reactor");
+    let addr = transport.local_addr();
+    transport.set_peer(0, addr);
+    transport.set_peer(1, addr);
+    let ping = LinkId {
+        from: 0,
+        to: 1,
+        tag: 0,
+    };
+    let pong = LinkId {
+        from: 1,
+        to: 0,
+        tag: 0,
+    };
+    let deadline = Duration::from_secs(5);
+    let tx = Transport::<Vec<i64>>::connect_tx(&transport, ping, deadline).expect("dial ping");
+    let echo_rx =
+        Transport::<Vec<i64>>::connect_rx(&transport, ping, deadline).expect("claim ping");
+    let echo_tx = Transport::<Vec<i64>>::connect_tx(&transport, pong, deadline).expect("dial pong");
+    let rx = Transport::<Vec<i64>>::connect_rx(&transport, pong, deadline).expect("claim pong");
+
+    let cancel = CancelToken::new();
+    let echo_cancel = cancel.clone();
+    let echo = std::thread::spawn(move || {
+        while let Ok(msg) = echo_rx.recv_deadline(Duration::from_secs(5), &echo_cancel) {
+            if echo_tx.send(msg).is_err() {
+                break;
+            }
+        }
+    });
+
+    let payload: Vec<i64> = (0..64).collect();
+    let metric = measure(samples, batch, || {
+        tx.send(payload.clone()).expect("queue the ping");
+        std::hint::black_box(
+            rx.recv_deadline(Duration::from_secs(5), &cancel)
+                .expect("echo returns"),
+        );
+    });
+    cancel.cancel();
+    echo.join().expect("echo thread exits");
+    metric
+}
+
+/// OS threads the reactor backend adds to the process while carrying
+/// `links` established link pairs — read from `/proc/self/task`, the
+/// kernel's own ledger, with the configured pool size as the fallback on
+/// platforms without procfs.
+fn transport_threads(links: u8) -> Metric {
+    let live = || {
+        std::fs::read_dir("/proc/self/task")
+            .ok()
+            .map(|dir| dir.count() as i64)
+    };
+    let before = live();
+    let transport = ReactorTransport::bind(ReactorConfig::default()).expect("bind reactor");
+    let addr = transport.local_addr();
+    transport.set_peer(0, addr);
+    transport.set_peer(1, addr);
+    let deadline = Duration::from_secs(5);
+    let mut endpoints = Vec::new();
+    for tag in 0..links {
+        let link = LinkId {
+            from: 0,
+            to: 1,
+            tag,
+        };
+        endpoints.push((
+            Transport::<Vec<i64>>::connect_tx(&transport, link, deadline).expect("dial"),
+            Transport::<Vec<i64>>::connect_rx(&transport, link, deadline).expect("claim"),
+        ));
+    }
+    let threads = match (before, live()) {
+        (Some(b), Some(a)) => (a - b).max(0) as f64,
+        _ => transport.reactor_count() as f64,
+    };
+    drop(endpoints);
+    Metric {
+        unit: "threads".to_string(),
+        median: threads,
+        p99: threads,
+        samples: 1,
+    }
+}
+
+/// Jobs/second through a 2-cube fleet router on in-process cubes. With
+/// `degraded`, cube 1's transport kills node 5 from its first send and a
+/// priming job forces the quarantine, so the measured stream runs on the
+/// fleet minus one cube — the throughput cost of routing around shrunken
+/// hardware.
+fn fleet_throughput(jobs: usize, samples: usize, degraded: bool) -> Metric {
+    let cube = SvcConfig::new(3)
+        .workers(2)
+        .queue_depth(2 * jobs)
+        .max_attempts(2)
+        .quarantine_after(1)
+        .backoff(Duration::from_millis(1), Duration::from_millis(10))
+        .recv_timeout(Duration::from_millis(300));
+    let router = FleetRouter::start(FleetConfig::new(cube, 2), |i| {
+        let mut transport = FaultyTransport::new(InProc::new(), 0xBE7C + i as u64);
+        if degraded && i == 1 {
+            transport = transport.fault_sender(
+                5,
+                LinkFault {
+                    kill_after: Some(0),
+                    ..LinkFault::default()
+                },
+            );
+        }
+        Ok(transport)
+    })
+    .expect("fleet starts");
+    if degraded {
+        // Prime the quarantine: the pinned job fails its first attempt on
+        // the dead node, recovers on the surviving subcube, and leaves
+        // cube 1 marked degraded for the measured stream.
+        let keys: Vec<i32> = (0..64).rev().collect();
+        router
+            .submit_to(1, JobSpec::new(keys))
+            .expect("priming job admitted")
+            .wait()
+            .expect("priming job recovers");
+    }
+    let mut rates: Vec<f64> = (0..samples)
+        .map(|sample| {
+            let start = Instant::now();
+            let handles: Vec<_> = (0..jobs as i64)
+                .map(|salt| {
+                    let keys: Vec<i32> = (0..64)
+                        .map(|x: i64| {
+                            (((x + salt + sample as i64).wrapping_mul(2_654_435_761)) % 997) as i32
+                        })
+                        .collect();
+                    router.submit(JobSpec::new(keys)).expect("admit")
+                })
+                .collect();
+            for handle in handles {
+                handle.wait().expect("job completes");
+            }
+            jobs as f64 / start.elapsed().as_secs_f64()
+        })
+        .collect();
+    let mut metric = summarize(&mut rates);
+    metric.unit = "jobs_per_sec".to_string();
+    router.shutdown();
+    metric
 }
 
 /// A representative stage message, mirroring the codec criterion bench.
@@ -343,11 +527,22 @@ fn compare(baseline_path: &str, current_path: &str, threshold: f64, p99_threshol
             failures += 1;
             continue;
         };
-        let median_ratio = ratio_of(cur.median, base.median);
+        // Latency-like units regress upward; throughput-like units regress
+        // downward. The ratio is always framed so that > 1 means "worse".
+        let higher_is_better = base.unit == "jobs_per_sec";
+        let median_ratio = if higher_is_better {
+            ratio_of(base.median, cur.median)
+        } else {
+            ratio_of(cur.median, base.median)
+        };
         // The tail gets its own, looser budget: p99 is noisier than the
         // median, but an unbounded tail is exactly how a "fast on average"
         // hot path hides an occasional allocation storm.
-        let p99_ratio = ratio_of(cur.p99, base.p99);
+        let p99_ratio = if higher_is_better {
+            ratio_of(base.p99, cur.p99)
+        } else {
+            ratio_of(cur.p99, base.p99)
+        };
         let status = if median_ratio > 1.0 + threshold || p99_ratio > 1.0 + p99_threshold {
             failures += 1;
             "FAIL"

@@ -10,7 +10,10 @@
 //!   with a length-prefixed, checksummed frame codec ([`frame`]), per-link
 //!   writer/reader threads, send retry with capped exponential
 //!   [`Backoff`], and a heartbeat-based failure detector that surfaces a
-//!   silent peer as [`NetError::PeerDead`].
+//!   silent peer as [`NetError::PeerDead`];
+//! * [`ReactorTransport`]: the same wire format and failure detector over
+//!   nonblocking sockets, multiplexed by a fixed pool of reactor threads —
+//!   `O(reactors)` transport threads instead of two per link.
 //!
 //! The failure-detection contract matches the paper's fail-stop model
 //! (assumption 4: *a missing message is detectable*): every receive takes a
@@ -33,8 +36,10 @@ pub mod frame;
 mod inproc;
 mod link;
 pub mod pool;
+mod reactor;
 mod remap;
 mod tcp;
+mod timer;
 pub mod wire;
 
 pub use backoff::Backoff;
@@ -45,6 +50,7 @@ pub use frame::{FrameKind, FRAME_VERSION, MAX_FRAME_LEN};
 pub use inproc::InProc;
 pub use link::{LinkId, LinkRx, LinkTx, Transport};
 pub use pool::BufPool;
+pub use reactor::{ReactorConfig, ReactorTransport};
 pub use remap::MappedTransport;
 pub use tcp::{TcpConfig, TcpTransport};
 pub use wire::{CodecError, Wire};

@@ -48,8 +48,9 @@ use crate::{Backoff, CancelToken, LinkId, LinkRx, LinkTx, NetError, PollSlices, 
 const READ_SLICE: Duration = Duration::from_millis(5);
 
 /// How long the acceptor waits for a dialer's handshake before dropping
-/// the connection.
-const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(1);
+/// the connection. Shared with the reactor backend's nonblocking handshake
+/// state machine.
+pub(crate) const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(1);
 
 /// Tuning knobs for the TCP backend.
 #[derive(Debug, Clone)]
@@ -83,11 +84,12 @@ impl Default for TcpConfig {
 }
 
 /// Inbound connections that completed their handshake but whose
-/// `connect_rx` has not yet claimed them.
+/// `connect_rx` has not yet claimed them. Shared with the reactor backend,
+/// whose reactor 0 fills it from the nonblocking accept path.
 #[derive(Default)]
-struct PendingSockets {
-    sockets: Mutex<HashMap<LinkId, TcpStream>>,
-    arrived: Condvar,
+pub(crate) struct PendingSockets {
+    pub(crate) sockets: Mutex<HashMap<LinkId, TcpStream>>,
+    pub(crate) arrived: Condvar,
 }
 
 /// A socket transport rooted at one loopback listener.
@@ -405,13 +407,14 @@ impl<M: Send> LinkRx<M> for TcpRx<M> {
     }
 }
 
-/// The reader thread's failure-detector state: timing thresholds plus the
-/// observability handles for the link it watches.
-struct FailureWatch {
-    heartbeat_timeout: Duration,
-    heartbeat_interval: Duration,
-    link: LinkId,
-    counters: LinkCounters,
+/// The reader side's failure-detector state: timing thresholds plus the
+/// observability handles for the link it watches. Shared with the reactor
+/// backend, whose dead-check timer drives the same accounting.
+pub(crate) struct FailureWatch {
+    pub(crate) heartbeat_timeout: Duration,
+    pub(crate) heartbeat_interval: Duration,
+    pub(crate) link: LinkId,
+    pub(crate) counters: LinkCounters,
 }
 
 impl FailureWatch {
@@ -419,7 +422,7 @@ impl FailureWatch {
     /// peer silent for `silent_for`, `silent_for / heartbeat_interval`
     /// beacons should have arrived; any beyond `already_reported` are new
     /// misses.
-    fn note_silence(&self, silent_for: Duration, already_reported: u64) -> u64 {
+    pub(crate) fn note_silence(&self, silent_for: Duration, already_reported: u64) -> u64 {
         let interval = self.heartbeat_interval.as_micros().max(1);
         let expected = (silent_for.as_micros() / interval) as u64;
         if expected > already_reported {
@@ -430,7 +433,7 @@ impl FailureWatch {
         expected.max(already_reported)
     }
 
-    fn note_peer_dead(&self, silent_for: Duration) {
+    pub(crate) fn note_peer_dead(&self, silent_for: Duration) {
         self.counters.peer_dead.inc();
         aoft_obs::emit(
             aoft_obs::Event::new("peer_dead")

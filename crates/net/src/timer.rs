@@ -1,0 +1,154 @@
+//! The reactor's timer wheel: deadline-ordered timers for links.
+//!
+//! A reactor thread multiplexes every timed obligation of its links —
+//! heartbeat emission, silence dead-checks, retry backoff — through one
+//! [`TimerWheel`] instead of per-link `recv_timeout`/`read_timeout` clocks.
+//! The wheel is a min-heap of `(deadline, timer)` entries; the reactor pops
+//! expired entries each pass and uses [`TimerWheel::next_deadline`] to
+//! bound its idle sleep, so a sleeping reactor still wakes exactly when the
+//! earliest obligation comes due.
+//!
+//! Cancellation is lazy: timers carry the link slot's generation, and a
+//! fired timer whose generation no longer matches the slot (the link was
+//! removed, the slot reused) is simply ignored. That keeps scheduling O(log
+//! n) with no removal bookkeeping — the standard hashed/hierarchical wheel
+//! trade, collapsed to a heap because a reactor owns at most a few hundred
+//! timers.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// What a fired timer asks the reactor to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TimerKind {
+    /// A tx link's idle-heartbeat obligation came due.
+    Heartbeat,
+    /// An rx link's silence check came due (failure detector tick).
+    DeadCheck,
+    /// A tx link's retry backoff elapsed; the write pump may try again.
+    Retry,
+}
+
+/// One scheduled obligation: `slot` indexes the reactor's link table, and
+/// `gen` must match the slot's current generation for the timer to be live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Timer {
+    pub(crate) slot: usize,
+    pub(crate) gen: u64,
+    pub(crate) kind: TimerKind,
+}
+
+struct Entry {
+    at: Reverse<Instant>,
+    timer: Timer,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at
+    }
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at)
+    }
+}
+
+/// Deadline-ordered timer store for one reactor thread.
+#[derive(Default)]
+pub(crate) struct TimerWheel {
+    heap: BinaryHeap<Entry>,
+}
+
+impl TimerWheel {
+    /// An empty wheel.
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `timer` to fire at `at`.
+    pub(crate) fn schedule(&mut self, at: Instant, timer: Timer) {
+        self.heap.push(Entry {
+            at: Reverse(at),
+            timer,
+        });
+    }
+
+    /// Pops the earliest timer whose deadline is at or before `now`, if any.
+    pub(crate) fn pop_expired(&mut self, now: Instant) -> Option<Timer> {
+        if self.heap.peek().is_some_and(|e| e.at.0 <= now) {
+            self.heap.pop().map(|e| e.timer)
+        } else {
+            None
+        }
+    }
+
+    /// The earliest pending deadline — the latest instant the reactor may
+    /// sleep until without missing an obligation.
+    pub(crate) fn next_deadline(&self) -> Option<Instant> {
+        self.heap.peek().map(|e| e.at.0)
+    }
+
+    /// Timers currently pending.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fires_in_deadline_order_regardless_of_insertion() {
+        let base = Instant::now();
+        let mut wheel = TimerWheel::new();
+        let t = |slot| Timer {
+            slot,
+            gen: 0,
+            kind: TimerKind::Heartbeat,
+        };
+        wheel.schedule(base + Duration::from_millis(30), t(3));
+        wheel.schedule(base + Duration::from_millis(10), t(1));
+        wheel.schedule(base + Duration::from_millis(20), t(2));
+        assert_eq!(
+            wheel.next_deadline(),
+            Some(base + Duration::from_millis(10))
+        );
+        let late = base + Duration::from_millis(25);
+        assert_eq!(wheel.pop_expired(late).map(|t| t.slot), Some(1));
+        assert_eq!(wheel.pop_expired(late).map(|t| t.slot), Some(2));
+        assert_eq!(wheel.pop_expired(late), None, "slot 3 is not yet due");
+        assert_eq!(wheel.len(), 1);
+    }
+
+    #[test]
+    fn nothing_expires_before_its_deadline() {
+        let base = Instant::now();
+        let mut wheel = TimerWheel::new();
+        wheel.schedule(
+            base + Duration::from_secs(60),
+            Timer {
+                slot: 0,
+                gen: 7,
+                kind: TimerKind::Retry,
+            },
+        );
+        assert_eq!(wheel.pop_expired(base), None);
+        let fired = wheel.pop_expired(base + Duration::from_secs(61)).unwrap();
+        assert_eq!(fired.gen, 7);
+        assert_eq!(fired.kind, TimerKind::Retry);
+    }
+}

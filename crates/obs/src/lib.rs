@@ -31,7 +31,7 @@ pub mod server;
 
 pub use event::{emit, flush_journal, install_journal, journal_installed, recent_events, Event};
 pub use hist::{Histogram, HistogramSnapshot};
-pub use registry::{global, Counter, Family, Gauge, Registry};
+pub use registry::{global, Counter, Family, Gauge, GaugeFamily, Registry};
 pub use server::{scrape, ObsServer};
 
 use std::sync::Arc;

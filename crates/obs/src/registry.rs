@@ -104,6 +104,50 @@ impl Family {
     }
 }
 
+/// A labeled gauge family (one label dimension, e.g. `cube`) — the
+/// gauge-valued counterpart of [`Family`], for per-entity state that moves
+/// both ways (a cube's health, say).
+#[derive(Debug)]
+pub struct GaugeFamily {
+    label: &'static str,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+}
+
+impl GaugeFamily {
+    fn new(label: &'static str) -> Self {
+        Self {
+            label,
+            gauges: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The gauge for `value` of this family's label, created at zero on
+    /// first use. Hot paths should cache the returned handle.
+    pub fn with_label(&self, value: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock();
+        if let Some(g) = map.get(value) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Gauge::default());
+        map.insert(value.to_string(), Arc::clone(&g));
+        g
+    }
+
+    /// Convenience: set `value`'s gauge.
+    pub fn set(&self, value: &str, v: i64) {
+        self.with_label(value).set(v);
+    }
+
+    /// `(label value, gauge value)` pairs, sorted by label.
+    pub fn collect(&self) -> Vec<(String, i64)> {
+        self.gauges
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+}
+
 /// Every metric the AOFT stack exports, one field per family.
 ///
 /// The fixed field set (rather than a name-keyed map) keeps the hot path a
@@ -186,6 +230,30 @@ pub struct Registry {
     pub net_heartbeat_misses: Family,
     /// Peers declared dead by the failure detector, per link.
     pub net_peer_dead: Family,
+
+    // --- reactor transport (aoft-net::reactor) ---
+    /// Reactor threads currently running (O(reactors), not O(links) — the
+    /// whole point of the nonblocking backend).
+    pub reactor_threads: Gauge,
+    /// Sockets currently registered with a reactor (tx + rx links).
+    pub reactor_links: Gauge,
+    /// Reactor loop iterations (each services every ready socket once).
+    pub reactor_wakeups: Counter,
+    /// Sends that had to wait on a full per-link tx queue (backpressure
+    /// propagated to the producing node thread).
+    pub reactor_tx_backpressure: Counter,
+
+    // --- fleet router (aoft-svc::fleet) ---
+    /// Cubes owned by the fleet router (actives + spares).
+    pub fleet_cubes: Gauge,
+    /// Jobs routed to each cube, by cube index.
+    pub fleet_jobs_routed: Family,
+    /// Per-cube health: 1 = healthy, 0 = degraded (quarantine non-empty).
+    pub fleet_cube_health: GaugeFamily,
+    /// Jobs resubmitted to another cube after their first cube failed them.
+    pub fleet_failovers: Counter,
+    /// Spare cubes promoted to active after an active cube degraded.
+    pub fleet_spares_promoted: Counter,
 }
 
 impl Registry {
@@ -223,6 +291,15 @@ impl Registry {
             net_send_retries: Family::new("link"),
             net_heartbeat_misses: Family::new("link"),
             net_peer_dead: Family::new("link"),
+            reactor_threads: Gauge::default(),
+            reactor_links: Gauge::default(),
+            reactor_wakeups: Counter::default(),
+            reactor_tx_backpressure: Counter::default(),
+            fleet_cubes: Gauge::default(),
+            fleet_jobs_routed: Family::new("cube"),
+            fleet_cube_health: GaugeFamily::new("cube"),
+            fleet_failovers: Counter::default(),
+            fleet_spares_promoted: Counter::default(),
         }
     }
 
@@ -422,6 +499,60 @@ impl Registry {
             "Peers declared dead by the failure detector, per link.",
             &self.net_peer_dead,
         );
+        gauge(
+            &mut out,
+            "aoft_reactor_threads",
+            "Reactor threads currently running.",
+            &self.reactor_threads,
+        );
+        gauge(
+            &mut out,
+            "aoft_reactor_links",
+            "Sockets currently registered with a reactor.",
+            &self.reactor_links,
+        );
+        counter(
+            &mut out,
+            "aoft_reactor_wakeups_total",
+            "Reactor loop iterations.",
+            &self.reactor_wakeups,
+        );
+        counter(
+            &mut out,
+            "aoft_reactor_tx_backpressure_total",
+            "Sends that waited on a full per-link tx queue.",
+            &self.reactor_tx_backpressure,
+        );
+        gauge(
+            &mut out,
+            "aoft_fleet_cubes",
+            "Cubes owned by the fleet router (actives and spares).",
+            &self.fleet_cubes,
+        );
+        family(
+            &mut out,
+            "aoft_fleet_jobs_routed_total",
+            "Jobs routed to each cube, by cube index.",
+            &self.fleet_jobs_routed,
+        );
+        gauge_family(
+            &mut out,
+            "aoft_fleet_cube_health",
+            "Per-cube health: 1 healthy, 0 degraded.",
+            &self.fleet_cube_health,
+        );
+        counter(
+            &mut out,
+            "aoft_fleet_failovers_total",
+            "Jobs resubmitted to another cube after their first cube failed them.",
+            &self.fleet_failovers,
+        );
+        counter(
+            &mut out,
+            "aoft_fleet_spares_promoted_total",
+            "Spare cubes promoted to active after an active cube degraded.",
+            &self.fleet_spares_promoted,
+        );
         out
     }
 }
@@ -462,6 +593,22 @@ fn family(out: &mut String, name: &str, help: &str, f: &Family) {
     if entries.is_empty() {
         // An empty family still exposes the name so dashboards can rely on
         // it existing.
+        out.push_str(&format!("{name} 0\n"));
+        return;
+    }
+    for (label, value) in entries {
+        out.push_str(&format!(
+            "{name}{{{}=\"{}\"}} {value}\n",
+            f.label,
+            escape_label(&label)
+        ));
+    }
+}
+
+fn gauge_family(out: &mut String, name: &str, help: &str, f: &GaugeFamily) {
+    header(out, name, help, "gauge");
+    let entries = f.collect();
+    if entries.is_empty() {
         out.push_str(&format!("{name} 0\n"));
         return;
     }
@@ -535,6 +682,7 @@ mod tests {
         reg.job_latency.record(Duration::from_millis(12));
         reg.violations.add("phi_p", 1);
         reg.net_bytes_sent.add("0→1#0", 640);
+        reg.fleet_cube_health.set("0", 1);
         let text = reg.render_prometheus();
         for name in [
             "aoft_jobs_submitted_total",
@@ -547,6 +695,12 @@ mod tests {
             "aoft_job_effort_ticks_total",
             "aoft_adv_mutations_total 0",
             "aoft_adv_drops_total 0",
+            "aoft_reactor_threads",
+            "aoft_reactor_wakeups_total",
+            "aoft_fleet_cubes",
+            "aoft_fleet_jobs_routed_total 0",
+            "aoft_fleet_cube_health{cube=\"0\"} 1",
+            "aoft_fleet_failovers_total",
         ] {
             assert!(text.contains(name), "missing {name} in:\n{text}");
         }

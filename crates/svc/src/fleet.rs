@@ -1,0 +1,498 @@
+//! The fleet router: N sort cubes behind one admission door.
+//!
+//! One [`SortService`] is one machine — a `2^d`-node cube whose quarantine
+//! can only shrink it. A [`FleetRouter`] owns several such cubes (plus
+//! optional standby spares) and routes a stream of [`JobSpec`]s across
+//! them:
+//!
+//! * **routing** — round-robin over *healthy* active cubes; cubes the
+//!   recovery layer has shrunk (non-empty quarantine) are deprioritized to
+//!   the back of the order, and standby spares are promoted to active the
+//!   moment a degraded cube drops the healthy-active count below target;
+//! * **fleet backpressure** — each cube's bounded queue rejects with
+//!   [`SubmitError::Backpressure`]; the router tries the next cube in
+//!   routing order and only when *every* cube refuses does the caller see
+//!   one aggregated fleet-wide backpressure signal;
+//! * **failover** — [`FleetHandle::wait`] resubmits a job whose cube
+//!   failed it loudly ([`JobError::Exhausted`], [`JobError::CubeExhausted`],
+//!   [`JobError::Runtime`], [`JobError::Stopped`]) to a different cube, up
+//!   to [`FleetConfig::max_reroutes`] times — the fleet-level analogue of
+//!   the paper's degraded-mode retry, one level up: where a cube retries a
+//!   job on its largest surviving subcube, the fleet retries it on a
+//!   different cube entirely. Results stay verified end to end; a job is
+//!   never answered with an unverified output, no matter how many hops.
+//!
+//! Observability: `aoft_fleet_cubes`, per-cube `aoft_fleet_jobs_routed_total`
+//! and `aoft_fleet_cube_health`, `aoft_fleet_failovers_total`, and
+//! `aoft_fleet_spares_promoted_total` in the process registry.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use aoft_net::Transport;
+use aoft_sim::Packet;
+use aoft_sort::Msg;
+
+use crate::config::{ConfigError, SvcConfig};
+use crate::job::{JobError, JobHandle, JobReport, JobSpec, SubmitError};
+use crate::metrics::SvcMetrics;
+use crate::service::SortService;
+
+/// Configuration of a [`FleetRouter`].
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Per-cube service configuration (every cube runs the same shape).
+    pub cube: SvcConfig,
+    /// Active cubes — the routing target count the router tries to keep
+    /// healthy by promoting spares.
+    pub cubes: usize,
+    /// Standby cubes held out of routing until an active cube degrades.
+    pub spares: usize,
+    /// Times one job may fail over to a different cube before its error is
+    /// returned to the caller.
+    pub max_reroutes: usize,
+}
+
+impl FleetConfig {
+    /// A fleet of `cubes` active cubes of shape `cube`, no spares, up to 2
+    /// reroutes per job.
+    pub fn new(cube: SvcConfig, cubes: usize) -> Self {
+        Self {
+            cube,
+            cubes,
+            spares: 0,
+            max_reroutes: 2,
+        }
+    }
+
+    /// Adds standby cubes, promoted when active cubes degrade.
+    pub fn spares(mut self, spares: usize) -> Self {
+        self.spares = spares;
+        self
+    }
+
+    /// Sets the per-job failover budget.
+    pub fn max_reroutes(mut self, reroutes: usize) -> Self {
+        self.max_reroutes = reroutes;
+        self
+    }
+}
+
+struct Cube<T>
+where
+    T: Transport<Packet<Msg>> + Send + Sync + 'static,
+{
+    service: SortService<T>,
+    /// Held in reserve until promoted; spares sort behind every active cube
+    /// in routing order.
+    spare: AtomicBool,
+    /// Router-local routed count — the process-global family below is
+    /// shared by every fleet in the process, so snapshots must not read it.
+    routed_local: AtomicU64,
+    routed: Arc<aoft_obs::Counter>,
+    health: Arc<aoft_obs::Gauge>,
+}
+
+impl<T> Cube<T>
+where
+    T: Transport<Packet<Msg>> + Send + Sync + 'static,
+{
+    /// A cube is degraded once its service has quarantined any node — its
+    /// largest clean cube is smaller than configured.
+    fn degraded(&self) -> bool {
+        !self.service.quarantined().is_empty()
+    }
+
+    fn note_routed(&self) {
+        self.routed_local.fetch_add(1, Ordering::Relaxed);
+        self.routed.inc();
+    }
+}
+
+/// A router over N [`SortService`] cubes sharing one admission door.
+pub struct FleetRouter<T>
+where
+    T: Transport<Packet<Msg>> + Send + Sync + 'static,
+{
+    config: FleetConfig,
+    cubes: Vec<Cube<T>>,
+    /// Round-robin rotation of the routing order.
+    rr: AtomicUsize,
+    failovers: AtomicU64,
+    promoted: AtomicU64,
+}
+
+impl<T> FleetRouter<T>
+where
+    T: Transport<Packet<Msg>> + Send + Sync + 'static,
+{
+    /// Starts `config.cubes + config.spares` services, one per transport
+    /// the factory yields (`transport_for(i)` builds cube `i`'s medium —
+    /// each cube is an independent physical machine).
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] when the cube configuration is invalid, the fleet is
+    /// empty, or a transport cannot be built.
+    pub fn start<F>(config: FleetConfig, mut transport_for: F) -> Result<Self, ConfigError>
+    where
+        F: FnMut(usize) -> Result<T, aoft_net::NetError>,
+    {
+        if config.cubes == 0 {
+            return Err(ConfigError("a fleet needs at least one active cube".into()));
+        }
+        let total = config.cubes + config.spares;
+        let reg = aoft_obs::global();
+        let mut cubes = Vec::with_capacity(total);
+        for i in 0..total {
+            let transport = transport_for(i)
+                .map_err(|e| ConfigError(format!("fleet cube {i} transport: {e}")))?;
+            let service = SortService::start(config.cube.clone(), transport)?;
+            let label = i.to_string();
+            let health = reg.fleet_cube_health.with_label(&label);
+            health.set(1);
+            cubes.push(Cube {
+                service,
+                spare: AtomicBool::new(i >= config.cubes),
+                routed_local: AtomicU64::new(0),
+                routed: reg.fleet_jobs_routed.with_label(&label),
+                health,
+            });
+        }
+        reg.fleet_cubes.set(total as i64);
+        Ok(Self {
+            config,
+            cubes,
+            rr: AtomicUsize::new(0),
+            failovers: AtomicU64::new(0),
+            promoted: AtomicU64::new(0),
+        })
+    }
+
+    /// Cubes in the fleet (actives + spares).
+    pub fn cube_count(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// The running configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Routes one job to the best cube available and returns its fleet
+    /// handle.
+    ///
+    /// # Errors
+    ///
+    /// * [`SubmitError::Backpressure`] — every cube's queue is full; the
+    ///   `depth` reported is the *fleet-wide* admission bound.
+    /// * [`SubmitError::Invalid`] — the spec can never run on this fleet's
+    ///   cube shape (identical on every cube, so no cube is tried twice).
+    /// * [`SubmitError::Stopped`] — no cube accepted the job.
+    pub fn submit(&self, spec: JobSpec) -> Result<FleetHandle<'_, T>, SubmitError> {
+        self.refresh_health();
+        self.submit_excluding(spec, None)
+    }
+
+    /// Routes a whole batch, striping it across the routing order. Each
+    /// entry resolves independently: a backpressured tail does not undo an
+    /// admitted head.
+    pub fn submit_batch(
+        &self,
+        specs: Vec<JobSpec>,
+    ) -> Vec<Result<FleetHandle<'_, T>, SubmitError>> {
+        self.refresh_health();
+        specs
+            .into_iter()
+            .map(|spec| self.submit_excluding(spec, None))
+            .collect()
+    }
+
+    /// Pins a job to cube `index`, bypassing routing — an operational and
+    /// test hook (drain a cube, reproduce a cube-local failure). Failover
+    /// on [`FleetHandle::wait`] still applies.
+    ///
+    /// # Errors
+    ///
+    /// The pinned cube's own [`SubmitError`]; [`SubmitError::Stopped`] if
+    /// `index` is out of range.
+    pub fn submit_to(
+        &self,
+        index: usize,
+        spec: JobSpec,
+    ) -> Result<FleetHandle<'_, T>, SubmitError> {
+        let cube = self.cubes.get(index).ok_or(SubmitError::Stopped)?;
+        let handle = cube.service.submit(spec.clone())?;
+        cube.note_routed();
+        Ok(FleetHandle {
+            router: self,
+            spec,
+            handle,
+            cube: index,
+            reroutes: 0,
+        })
+    }
+
+    /// A point-in-time fleet snapshot (refreshes health gauges).
+    pub fn metrics(&self) -> FleetMetrics {
+        self.refresh_health();
+        let degraded = self
+            .cubes
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.degraded())
+            .map(|(i, _)| i)
+            .collect();
+        let spares = self
+            .cubes
+            .iter()
+            .filter(|c| c.spare.load(Ordering::Acquire))
+            .count();
+        FleetMetrics {
+            cubes: self.cubes.len(),
+            active: self.cubes.len() - spares,
+            spares,
+            degraded,
+            jobs_routed: self
+                .cubes
+                .iter()
+                .map(|c| c.routed_local.load(Ordering::Relaxed))
+                .collect(),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            spares_promoted: self.promoted.load(Ordering::Relaxed),
+            per_cube: self.cubes.iter().map(|c| c.service.metrics()).collect(),
+        }
+    }
+
+    /// Stops every cube: queued-but-unstarted jobs resolve with
+    /// [`JobError::Stopped`], in-flight jobs run to completion.
+    pub fn shutdown(self) {
+        for cube in self.cubes {
+            cube.service.shutdown();
+        }
+        aoft_obs::global().fleet_cubes.set(0);
+    }
+
+    /// Refreshes health gauges and keeps the healthy-active count at
+    /// target by promoting healthy spares when actives degrade.
+    fn refresh_health(&self) {
+        let mut healthy_actives = 0usize;
+        for cube in &self.cubes {
+            let degraded = cube.degraded();
+            cube.health.set(i64::from(!degraded));
+            if !degraded && !cube.spare.load(Ordering::Acquire) {
+                healthy_actives += 1;
+            }
+        }
+        if healthy_actives >= self.config.cubes {
+            return;
+        }
+        for (i, cube) in self.cubes.iter().enumerate() {
+            if healthy_actives >= self.config.cubes {
+                break;
+            }
+            if cube.degraded() || !cube.spare.swap(false, Ordering::AcqRel) {
+                continue;
+            }
+            healthy_actives += 1;
+            self.promoted.fetch_add(1, Ordering::Relaxed);
+            aoft_obs::global().fleet_spares_promoted.inc();
+            aoft_obs::emit(
+                aoft_obs::Event::new("spare_promoted")
+                    .detail(format!("cube {i} promoted to active")),
+            );
+        }
+    }
+
+    /// The cube indices to try for one job, best first: healthy actives
+    /// (rotated round-robin), then healthy spares, then degraded cubes
+    /// last — a shrunken cube still serves, but only once nothing whole has
+    /// capacity.
+    fn routing_order(&self, exclude: Option<usize>) -> Vec<usize> {
+        let start = self.rr.fetch_add(1, Ordering::Relaxed);
+        let mut healthy_active = Vec::new();
+        let mut healthy_spare = Vec::new();
+        let mut degraded = Vec::new();
+        for (i, cube) in self.cubes.iter().enumerate() {
+            if Some(i) == exclude {
+                continue;
+            }
+            if cube.degraded() {
+                degraded.push(i);
+            } else if cube.spare.load(Ordering::Acquire) {
+                healthy_spare.push(i);
+            } else {
+                healthy_active.push(i);
+            }
+        }
+        // Rotate within the healthy-active class, so the round-robin is
+        // fair over the cubes actually in rotation.
+        if !healthy_active.is_empty() {
+            let rotation = start % healthy_active.len();
+            healthy_active.rotate_left(rotation);
+        }
+        healthy_active.extend(healthy_spare);
+        healthy_active.extend(degraded);
+        healthy_active
+    }
+
+    fn submit_excluding(
+        &self,
+        spec: JobSpec,
+        exclude: Option<usize>,
+    ) -> Result<FleetHandle<'_, T>, SubmitError> {
+        let order = self.routing_order(exclude);
+        if order.is_empty() {
+            return Err(SubmitError::Stopped);
+        }
+        for index in order {
+            let cube = &self.cubes[index];
+            match cube.service.submit(spec.clone()) {
+                Ok(handle) => {
+                    if cube.spare.swap(false, Ordering::AcqRel) {
+                        // Routing reached a spare: everything ahead of it
+                        // was full or degraded, so it joins the actives.
+                        self.promoted.fetch_add(1, Ordering::Relaxed);
+                        aoft_obs::global().fleet_spares_promoted.inc();
+                    }
+                    cube.note_routed();
+                    return Ok(FleetHandle {
+                        router: self,
+                        spec,
+                        handle,
+                        cube: index,
+                        reroutes: 0,
+                    });
+                }
+                Err(SubmitError::Backpressure { .. }) | Err(SubmitError::Stopped) => continue,
+                // Shape mismatch is identical on every cube; fail fast.
+                Err(err @ SubmitError::Invalid(_)) => return Err(err),
+            }
+        }
+        // Every cube refused: one aggregated fleet backpressure signal.
+        Err(SubmitError::Backpressure {
+            depth: self.cubes.len() * self.config.cube.queue_depth,
+        })
+    }
+}
+
+impl<T> std::fmt::Debug for FleetRouter<T>
+where
+    T: Transport<Packet<Msg>> + Send + Sync + 'static,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetRouter")
+            .field("cubes", &self.cubes.len())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+/// A routed job's claim ticket: [`JobHandle`] plus the fleet's failover
+/// policy.
+pub struct FleetHandle<'a, T>
+where
+    T: Transport<Packet<Msg>> + Send + Sync + 'static,
+{
+    router: &'a FleetRouter<T>,
+    spec: JobSpec,
+    handle: JobHandle,
+    cube: usize,
+    reroutes: usize,
+}
+
+impl<T> FleetHandle<'_, T>
+where
+    T: Transport<Packet<Msg>> + Send + Sync + 'static,
+{
+    /// The cube currently running the job.
+    pub fn cube(&self) -> usize {
+        self.cube
+    }
+
+    /// Blocks until the job completes somewhere in the fleet, failing over
+    /// to another cube (up to [`FleetConfig::max_reroutes`] times) when a
+    /// cube fails the job loudly.
+    ///
+    /// # Errors
+    ///
+    /// The final [`JobError`] once the failover budget is spent or the
+    /// error is not retryable ([`JobError::Invalid`]).
+    pub fn wait(mut self) -> Result<FleetReport, JobError> {
+        loop {
+            match self.handle.wait() {
+                Ok(report) => {
+                    return Ok(FleetReport {
+                        cube: self.cube,
+                        reroutes: self.reroutes,
+                        report,
+                    })
+                }
+                Err(err) => {
+                    if !failover_worthy(&err) || self.reroutes >= self.router.config.max_reroutes {
+                        return Err(err);
+                    }
+                    let failed_cube = self.cube;
+                    self.router.refresh_health();
+                    match self
+                        .router
+                        .submit_excluding(self.spec.clone(), Some(failed_cube))
+                    {
+                        Ok(rerouted) => {
+                            self.router.failovers.fetch_add(1, Ordering::Relaxed);
+                            aoft_obs::global().fleet_failovers.inc();
+                            aoft_obs::emit(aoft_obs::Event::new("fleet_failover").detail(format!(
+                                "cube {failed_cube} failed ({err}); rerouted to cube {}",
+                                rerouted.cube
+                            )));
+                            self.cube = rerouted.cube;
+                            self.handle = rerouted.handle;
+                            self.reroutes += 1;
+                        }
+                        // Nowhere left to run it: surface the cube's error.
+                        Err(_) => return Err(err),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Which job failures warrant trying a different cube: everything except a
+/// shape mismatch, which would fail identically fleet-wide.
+fn failover_worthy(err: &JobError) -> bool {
+    !matches!(err, JobError::Invalid(_))
+}
+
+/// A completed fleet job: the cube's verified [`JobReport`] plus where and
+/// how it ran.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// The cube that produced the verified result.
+    pub cube: usize,
+    /// Failovers this job consumed (0 = first cube answered).
+    pub reroutes: usize,
+    /// The verified per-job report.
+    pub report: JobReport,
+}
+
+/// A point-in-time view of the fleet.
+#[derive(Debug, Clone)]
+pub struct FleetMetrics {
+    /// Cubes in the fleet, spares included.
+    pub cubes: usize,
+    /// Cubes currently in the routing rotation.
+    pub active: usize,
+    /// Cubes still held in reserve.
+    pub spares: usize,
+    /// Indices of quarantine-shrunken cubes (deprioritized in routing).
+    pub degraded: Vec<usize>,
+    /// Jobs routed to each cube, by index.
+    pub jobs_routed: Vec<u64>,
+    /// Jobs that failed over to another cube at least once.
+    pub failovers: u64,
+    /// Spares promoted into the active rotation.
+    pub spares_promoted: u64,
+    /// Each cube's own service metrics, by index.
+    pub per_cube: Vec<SvcMetrics>,
+}

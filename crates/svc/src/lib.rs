@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 
 mod config;
+mod fleet;
 mod job;
 mod metrics;
 mod queue;
@@ -50,6 +51,7 @@ mod recovery;
 mod service;
 
 pub use config::{ConfigError, SvcConfig};
+pub use fleet::{FleetConfig, FleetHandle, FleetMetrics, FleetReport, FleetRouter};
 pub use job::{JobError, JobHandle, JobId, JobReport, JobSpec, SubmitError};
 pub use metrics::SvcMetrics;
 pub use service::SortService;

@@ -11,7 +11,7 @@
 
 use std::time::Duration;
 
-use aoft::sim::{TcpConfig, TcpTransport};
+use aoft::sim::{ReactorConfig, ReactorTransport, TcpConfig, TcpTransport};
 use aoft::sort::{Algorithm, Key, SortBuilder};
 
 /// Deterministic, scattered demo keys: a multiplicative hash over `0..n`,
@@ -36,6 +36,20 @@ pub fn sorted(keys: &[Key]) -> Vec<Key> {
 /// `set_peer` would point at a different machine instead.
 pub fn loopback_cluster(nodes: u32) -> Result<TcpTransport, Box<dyn std::error::Error>> {
     let transport = TcpTransport::bind(TcpConfig::default())?;
+    let addr = transport.local_addr();
+    for label in 0..nodes {
+        transport.set_peer(label, addr);
+    }
+    Ok(transport)
+}
+
+/// Like [`loopback_cluster`], but over the nonblocking reactor backend:
+/// the whole cube's links are multiplexed onto a fixed pool of reactor
+/// threads instead of two OS threads per link.
+pub fn loopback_reactor_cluster(
+    nodes: u32,
+) -> Result<ReactorTransport, Box<dyn std::error::Error>> {
+    let transport = ReactorTransport::bind(ReactorConfig::default())?;
     let addr = transport.local_addr();
     for label in 0..nodes {
         transport.set_peer(label, addr);
