@@ -104,7 +104,14 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 
 fn take_snapshot(quick: bool) -> Snapshot {
     let mut metrics = BTreeMap::new();
-    let (samples, batch) = if quick { (30, 20) } else { (100, 100) };
+    // At least 100 samples even in quick mode: nearest-rank p99 over 30
+    // samples *is* the max, so a single scheduler stall or page-fault storm
+    // became the gated p99 (predicate_bit_compare: 0.67µs median vs 202µs
+    // p99 in BENCH_8). With 100 samples the p99 rank excludes the single
+    // worst sample, and the warm-up in `measure` keeps cold-start noise out
+    // of the population entirely. Sub-microsecond metrics make the extra
+    // samples nearly free.
+    let (samples, batch) = if quick { (100, 20) } else { (200, 100) };
 
     // Wire codec: a representative stage message (64-key block plus a
     // half-filled 8-slot LBS), measured as the transport actually runs it.
@@ -206,6 +213,16 @@ fn take_snapshot(quick: bool) -> Snapshot {
         fleet_throughput(fleet_jobs, fleet_samples, true),
     );
 
+    // The batching tentpole as a gated number: the same 2-cube fleet under
+    // a burst workload with the micro-batcher on (batch_max = 16), jobs
+    // striped in batch-sized chunks so each cube's worker coalesces them
+    // into composite-key attempts. Per-hop latency amortizes across the
+    // batch, so this should sit far above fleet_jobs_per_sec_clean.
+    metrics.insert(
+        "batched_jobs_per_sec".to_string(),
+        batched_throughput(64, fleet_samples),
+    );
+
     Snapshot {
         schema: SCHEMA,
         git_sha: git_sha(),
@@ -217,8 +234,14 @@ fn take_snapshot(quick: bool) -> Snapshot {
 
 /// `samples` timings of `batch` calls each, reported per call in µs.
 fn measure(samples: usize, batch: usize, mut f: impl FnMut()) -> Metric {
-    // Warm-up: populate caches and lazy statics outside the measurement.
-    for _ in 0..batch {
+    // Warm-up: populate caches, lazy statics, and first-touch pages outside
+    // the measurement. One batch is not enough — on sub-microsecond metrics
+    // the first few *sample* batches still eat page faults and allocator
+    // growth, and with nearest-rank p99 over 30 samples a single cold
+    // sample IS the p99 (predicate_bit_compare: 0.67µs median vs 202µs p99
+    // before this discard). Run full discarded sample batches first.
+    let warmup_samples = (samples / 10).max(3);
+    for _ in 0..warmup_samples * batch {
         f();
     }
     let mut timings: Vec<f64> = (0..samples)
@@ -421,6 +444,45 @@ fn fleet_throughput(jobs: usize, samples: usize, degraded: bool) -> Metric {
     metric
 }
 
+/// Jobs/second through the same 2-cube fleet under a burst workload with
+/// micro-batching enabled: each cube's single worker coalesces its chunk of
+/// the burst into composite-key attempts, paying the ~30-hop schedule once
+/// per batch instead of once per job. The first burst is discarded as
+/// warm-up (thread and link bring-up).
+fn batched_throughput(jobs: usize, samples: usize) -> Metric {
+    let cube = SvcConfig::new(3)
+        .workers(1)
+        .queue_depth(2 * jobs)
+        .batch_max(16)
+        .batch_flush(Duration::from_millis(1))
+        .recv_timeout(Duration::from_millis(300));
+    let router =
+        FleetRouter::start(FleetConfig::new(cube, 2), |_| Ok(InProc::new())).expect("fleet starts");
+    let burst = |sample: usize| {
+        let specs: Vec<JobSpec> = (0..jobs as i64)
+            .map(|salt| {
+                let keys: Vec<i32> = (0..64)
+                    .map(|x: i64| {
+                        (((x + salt + sample as i64).wrapping_mul(2_654_435_761)) % 997) as i32
+                    })
+                    .collect();
+                JobSpec::new(keys)
+            })
+            .collect();
+        let start = Instant::now();
+        for handle in router.submit_batch(specs) {
+            handle.expect("admit").wait().expect("job completes");
+        }
+        jobs as f64 / start.elapsed().as_secs_f64()
+    };
+    burst(samples); // warm-up burst, discarded
+    let mut rates: Vec<f64> = (0..samples).map(burst).collect();
+    let mut metric = summarize(&mut rates);
+    metric.unit = "jobs_per_sec".to_string();
+    router.shutdown();
+    metric
+}
+
 /// A representative stage message, mirroring the codec criterion bench.
 fn tagged_msg(m: usize, span: usize) -> Msg {
     let block = Block::from_unsorted((0..m as i32).map(|x| x.wrapping_mul(-31)).collect());
@@ -543,7 +605,17 @@ fn compare(baseline_path: &str, current_path: &str, threshold: f64, p99_threshol
         } else {
             ratio_of(cur.p99, base.p99)
         };
-        let status = if median_ratio > 1.0 + threshold || p99_ratio > 1.0 + p99_threshold {
+        // Sub-microsecond statistics sit at the clock's quantization floor,
+        // where half a microsecond of jitter reads as a 50% "regression".
+        // A relative breach only fails the gate once the absolute move also
+        // clears a 2µs noise floor (latency units only — a 2-unit move in
+        // jobs/sec or thread counts is a real signal).
+        let noise_floor = if base.unit == "us" { 2.0 } else { 0.0 };
+        let median_regressed =
+            median_ratio > 1.0 + threshold && (cur.median - base.median).abs() > noise_floor;
+        let p99_regressed =
+            p99_ratio > 1.0 + p99_threshold && (cur.p99 - base.p99).abs() > noise_floor;
+        let status = if median_regressed || p99_regressed {
             failures += 1;
             "FAIL"
         } else {

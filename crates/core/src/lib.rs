@@ -56,6 +56,7 @@
 
 pub mod bitonic;
 pub mod block;
+pub mod composite;
 pub mod diagnosis;
 pub mod host;
 mod lbs;
@@ -69,6 +70,7 @@ mod violation;
 
 pub use bitonic::{is_bitonic, is_circular_bitonic};
 pub use block::{Block, MergeScratch};
+pub use composite::{demux, mux, CompositeCodec, DemuxError};
 pub use lbs::LbsBuffer;
 pub use msg::{BlockView, LbsWire, LbsWireView, Msg, MsgView};
 pub use runner::{Algorithm, RetryReport, SortBuilder, SortDirection, SortError, SortReport};

@@ -53,4 +53,5 @@ pub use pool::BufPool;
 pub use reactor::{ReactorConfig, ReactorTransport};
 pub use remap::MappedTransport;
 pub use tcp::{TcpConfig, TcpTransport};
+pub use timer::TimerWheel;
 pub use wire::{CodecError, Wire};

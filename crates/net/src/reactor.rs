@@ -58,6 +58,12 @@ const IDLE_SLEEP_MIN: Duration = Duration::from_micros(500);
 /// siblings — bounds per-link monopoly of the pass, not throughput.
 const READS_PER_PASS: usize = 8;
 
+/// Queued frames one tx drain coalesces into a single `write_vectored` —
+/// bounds the IoSlice list and per-link monopoly of the pass, not
+/// throughput (the pump loops until the queue empties or the socket
+/// blocks).
+const MAX_TX_COALESCE: usize = 64;
+
 /// Tuning knobs for the reactor backend. Timing fields carry the same
 /// meaning as their [`crate::TcpConfig`] counterparts.
 #[derive(Debug, Clone)]
@@ -456,7 +462,7 @@ struct TxState {
     stream: TcpStream,
     shared: Arc<TxShared>,
     counters: LinkCounters,
-    cur: Option<CurFrame>,
+    cur: Option<TxBatch>,
     attempts: u32,
     backoff: Backoff,
     /// Set while a retry backoff is pending; cleared by the Retry timer.
@@ -465,21 +471,43 @@ struct TxState {
     gen: u64,
 }
 
-/// A frame mid-write: `written` tracks progress across `WouldBlock`s.
-/// `payload: None` is a bare-header frame (heartbeat).
-struct CurFrame {
+/// One frame staged for writing. `payload: None` is a bare-header frame
+/// (heartbeat).
+struct TxFrame {
     header: [u8; 4 + HEADER_LEN],
     payload: Option<pool::Lease<'static>>,
-    written: usize,
 }
 
-impl CurFrame {
+impl TxFrame {
     fn payload_bytes(&self) -> &[u8] {
         self.payload.as_ref().map_or(&[], |lease| lease.as_slice())
     }
 
     fn total(&self) -> usize {
         self.header.len() + self.payload_bytes().len()
+    }
+}
+
+/// A coalesced run of frames mid-write: everything a tx drain pulled from
+/// the link's queue in one pass, written through one `write_vectored`.
+/// `written` tracks progress over the concatenated byte stream, so a
+/// `WouldBlock` (or a retried transient failure) resumes mid-run without
+/// re-sending a byte.
+struct TxBatch {
+    frames: Vec<TxFrame>,
+    written: usize,
+}
+
+impl TxBatch {
+    fn single(frame: TxFrame) -> Self {
+        Self {
+            frames: vec![frame],
+            written: 0,
+        }
+    }
+
+    fn total(&self) -> usize {
+        self.frames.iter().map(TxFrame::total).sum()
     }
 }
 
@@ -691,7 +719,7 @@ impl ReactorCtx {
         &self,
         timer: Timer,
         slots: &mut [Option<Slot>],
-        wheel: &mut TimerWheel,
+        wheel: &mut TimerWheel<Timer>,
         now: Instant,
     ) -> TimerOutcome {
         let Some(slot) = slots.get_mut(timer.slot).and_then(Option::as_mut) else {
@@ -706,11 +734,10 @@ impl ReactorCtx {
                     && tx.shared.queue.lock().is_empty()
                     && now.duration_since(tx.last_write) >= self.config.heartbeat_interval
                 {
-                    tx.cur = Some(CurFrame {
+                    tx.cur = Some(TxBatch::single(TxFrame {
                         header: frame_header(FrameKind::Heartbeat, &[]),
                         payload: None,
-                        written: 0,
-                    });
+                    }));
                 }
                 wheel.schedule(now + self.heartbeat_tick(), timer);
                 TimerOutcome::Live
@@ -737,7 +764,13 @@ impl ReactorCtx {
 
     /// Drains a tx link's queue onto its socket until it would block or the
     /// queue empties.
-    fn pump_tx(&self, tx: &mut TxState, slot: usize, wheel: &mut TimerWheel, now: Instant) -> Pump {
+    fn pump_tx(
+        &self,
+        tx: &mut TxState,
+        slot: usize,
+        wheel: &mut TimerWheel<Timer>,
+        now: Instant,
+    ) -> Pump {
         if tx.blocked_until.is_some_and(|until| until > now) {
             return Pump::Idle;
         }
@@ -745,35 +778,59 @@ impl ReactorCtx {
         let mut progress = false;
         loop {
             if tx.cur.is_none() {
-                let cmd = {
+                // Coalesce: drain every queued frame (bounded) under one
+                // lock acquisition into one vectored write, instead of one
+                // frame per pass. A Bye at the queue front is only acted on
+                // once every frame ahead of it has been staged.
+                let (frames, bye) = {
                     let mut queue = tx.shared.queue.lock();
-                    let cmd = queue.pop_front();
-                    if cmd.is_some() {
+                    let mut frames: Vec<TxFrame> = Vec::new();
+                    let mut bye = false;
+                    while frames.len() < MAX_TX_COALESCE {
+                        match queue.front() {
+                            Some(TxCmd::Frame { .. }) => {
+                                let Some(TxCmd::Frame { header, payload }) = queue.pop_front()
+                                else {
+                                    unreachable!("front was a frame");
+                                };
+                                frames.push(TxFrame {
+                                    header,
+                                    payload: Some(payload),
+                                });
+                            }
+                            Some(TxCmd::Bye) => {
+                                if frames.is_empty() {
+                                    queue.pop_front();
+                                    bye = true;
+                                }
+                                break;
+                            }
+                            None => break,
+                        }
+                    }
+                    if !frames.is_empty() {
                         tx.shared.space.notify_all();
                     }
-                    cmd
+                    (frames, bye)
                 };
-                match cmd {
-                    Some(TxCmd::Frame { header, payload }) => {
-                        tx.cur = Some(CurFrame {
-                            header,
-                            payload: Some(payload),
-                            written: 0,
-                        });
-                    }
-                    Some(TxCmd::Bye) => {
-                        // Best-effort farewell; the peer treats EOF the
-                        // same way if the nonblocking write falls short.
-                        let _ = (&tx.stream).write(&encode_frame(FrameKind::Bye, &[]));
-                        let _ = tx.stream.shutdown(Shutdown::Both);
-                        tx.shared.mark_dead();
-                        return Pump::Remove;
-                    }
-                    None => return if progress { Pump::Progress } else { Pump::Idle },
+                if bye {
+                    // Best-effort farewell; the peer treats EOF the
+                    // same way if the nonblocking write falls short.
+                    let _ = (&tx.stream).write(&encode_frame(FrameKind::Bye, &[]));
+                    let _ = tx.stream.shutdown(Shutdown::Both);
+                    tx.shared.mark_dead();
+                    return Pump::Remove;
                 }
+                if frames.is_empty() {
+                    return if progress { Pump::Progress } else { Pump::Idle };
+                }
+                aoft_obs::global()
+                    .reactor_frames_per_write
+                    .record_count(frames.len() as u64);
+                tx.cur = Some(TxBatch { frames, written: 0 });
             }
-            let cur = tx.cur.as_mut().expect("frame staged above");
-            match write_cur(&mut tx.stream, cur) {
+            let cur = tx.cur.as_mut().expect("frames staged above");
+            match write_batch(&mut tx.stream, cur) {
                 WriteOutcome::Done(total) => {
                     tx.counters.bytes_sent.add(total as u64);
                     tx.cur = None;
@@ -871,20 +928,31 @@ enum WriteOutcome {
     Failed(io::Error),
 }
 
-/// Advances a frame write from `cur.written`, vectored while the header is
-/// unfinished — the same split-write shape as the threaded backend, made
-/// resumable across `WouldBlock`.
-fn write_cur(stream: &mut TcpStream, cur: &mut CurFrame) -> WriteOutcome {
-    let total = cur.total();
-    while cur.written < total {
-        let header_len = cur.header.len();
-        let res = if cur.written < header_len {
-            let header_rest = &cur.header[cur.written..];
-            let payload = cur.payload.as_ref().map_or(&[][..], |l| l.as_slice());
-            stream.write_vectored(&[IoSlice::new(header_rest), IoSlice::new(payload)])
-        } else {
-            let payload = cur.payload.as_ref().map_or(&[][..], |l| l.as_slice());
-            stream.write(&payload[cur.written - header_len..])
+/// Advances a coalesced frame run from `batch.written`: every unfinished
+/// header and payload chunk goes into one `write_vectored` — the same
+/// split-write shape as the threaded backend, generalized to many frames
+/// per syscall and resumable across `WouldBlock`.
+fn write_batch(stream: &mut TcpStream, batch: &mut TxBatch) -> WriteOutcome {
+    let total = batch.total();
+    let TxBatch { frames, written } = batch;
+    while *written < total {
+        let res = {
+            // Rebuild the IoSlice list from the resume point: whole chunks
+            // already written are skipped, a partially written chunk
+            // contributes its tail.
+            let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(2 * frames.len());
+            let mut skip = *written;
+            for frame in frames.iter() {
+                for chunk in [&frame.header[..], frame.payload_bytes()] {
+                    if skip >= chunk.len() {
+                        skip -= chunk.len();
+                    } else {
+                        slices.push(IoSlice::new(&chunk[skip..]));
+                        skip = 0;
+                    }
+                }
+            }
+            stream.write_vectored(&slices)
         };
         match res {
             Ok(0) => {
@@ -893,7 +961,7 @@ fn write_cur(stream: &mut TcpStream, cur: &mut CurFrame) -> WriteOutcome {
                     "socket accepted no bytes",
                 ))
             }
-            Ok(n) => cur.written += n,
+            Ok(n) => *written += n,
             Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => return WriteOutcome::Blocked,
             Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return WriteOutcome::Failed(e),

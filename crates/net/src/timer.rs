@@ -1,25 +1,30 @@
-//! The reactor's timer wheel: deadline-ordered timers for links.
+//! Deadline-ordered timer wheel shared by the reactor and the service
+//! batcher.
 //!
 //! A reactor thread multiplexes every timed obligation of its links —
 //! heartbeat emission, silence dead-checks, retry backoff — through one
 //! [`TimerWheel`] instead of per-link `recv_timeout`/`read_timeout` clocks.
-//! The wheel is a min-heap of `(deadline, timer)` entries; the reactor pops
+//! The wheel is a min-heap of `(deadline, payload)` entries; the owner pops
 //! expired entries each pass and uses [`TimerWheel::next_deadline`] to
-//! bound its idle sleep, so a sleeping reactor still wakes exactly when the
+//! bound its idle sleep, so a sleeping loop still wakes exactly when the
 //! earliest obligation comes due.
 //!
-//! Cancellation is lazy: timers carry the link slot's generation, and a
-//! fired timer whose generation no longer matches the slot (the link was
-//! removed, the slot reused) is simply ignored. That keeps scheduling O(log
-//! n) with no removal bookkeeping — the standard hashed/hierarchical wheel
-//! trade, collapsed to a heap because a reactor owns at most a few hundred
-//! timers.
+//! Cancellation is lazy: the reactor's payloads carry the link slot's
+//! generation, and a fired timer whose generation no longer matches the
+//! slot (the link was removed, the slot reused) is simply ignored. That
+//! keeps scheduling O(log n) with no removal bookkeeping — the standard
+//! hashed/hierarchical wheel trade, collapsed to a heap because an owner
+//! holds at most a few hundred timers.
+//!
+//! The wheel is generic so other deadline-driven loops can reuse it: the
+//! service-layer micro-batcher schedules its flush deadlines on a
+//! `TimerWheel<JobId>` with exactly the same pop/peek discipline.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::time::Instant;
 
-/// What a fired timer asks the reactor to do.
+/// What a fired reactor timer asks the reactor to do.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum TimerKind {
     /// A tx link's idle-heartbeat obligation came due.
@@ -30,8 +35,9 @@ pub(crate) enum TimerKind {
     Retry,
 }
 
-/// One scheduled obligation: `slot` indexes the reactor's link table, and
-/// `gen` must match the slot's current generation for the timer to be live.
+/// One scheduled reactor obligation: `slot` indexes the reactor's link
+/// table, and `gen` must match the slot's current generation for the timer
+/// to be live.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct Timer {
     pub(crate) slot: usize,
@@ -39,45 +45,52 @@ pub(crate) struct Timer {
     pub(crate) kind: TimerKind,
 }
 
-struct Entry {
+struct Entry<T> {
     at: Reverse<Instant>,
-    timer: Timer,
+    timer: T,
 }
 
-impl PartialEq for Entry {
+impl<T> PartialEq for Entry<T> {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at
     }
 }
 
-impl Eq for Entry {}
+impl<T> Eq for Entry<T> {}
 
-impl PartialOrd for Entry {
+impl<T> PartialOrd for Entry<T> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl Ord for Entry {
+impl<T> Ord for Entry<T> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.at.cmp(&other.at)
     }
 }
 
-/// Deadline-ordered timer store for one reactor thread.
-#[derive(Default)]
-pub(crate) struct TimerWheel {
-    heap: BinaryHeap<Entry>,
+/// Deadline-ordered timer store for one event-driven loop.
+pub struct TimerWheel<T> {
+    heap: BinaryHeap<Entry<T>>,
 }
 
-impl TimerWheel {
+impl<T> Default for TimerWheel<T> {
+    fn default() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+        }
+    }
+}
+
+impl<T> TimerWheel<T> {
     /// An empty wheel.
-    pub(crate) fn new() -> Self {
+    pub fn new() -> Self {
         Self::default()
     }
 
     /// Schedules `timer` to fire at `at`.
-    pub(crate) fn schedule(&mut self, at: Instant, timer: Timer) {
+    pub fn schedule(&mut self, at: Instant, timer: T) {
         self.heap.push(Entry {
             at: Reverse(at),
             timer,
@@ -85,7 +98,7 @@ impl TimerWheel {
     }
 
     /// Pops the earliest timer whose deadline is at or before `now`, if any.
-    pub(crate) fn pop_expired(&mut self, now: Instant) -> Option<Timer> {
+    pub fn pop_expired(&mut self, now: Instant) -> Option<T> {
         if self.heap.peek().is_some_and(|e| e.at.0 <= now) {
             self.heap.pop().map(|e| e.timer)
         } else {
@@ -93,16 +106,20 @@ impl TimerWheel {
         }
     }
 
-    /// The earliest pending deadline — the latest instant the reactor may
+    /// The earliest pending deadline — the latest instant the owner may
     /// sleep until without missing an obligation.
-    pub(crate) fn next_deadline(&self) -> Option<Instant> {
+    pub fn next_deadline(&self) -> Option<Instant> {
         self.heap.peek().map(|e| e.at.0)
     }
 
     /// Timers currently pending.
-    #[cfg(test)]
-    pub(crate) fn len(&self) -> usize {
+    pub fn len(&self) -> usize {
         self.heap.len()
+    }
+
+    /// `true` when no timers are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
     }
 }
 
@@ -150,5 +167,18 @@ mod tests {
         let fired = wheel.pop_expired(base + Duration::from_secs(61)).unwrap();
         assert_eq!(fired.gen, 7);
         assert_eq!(fired.kind, TimerKind::Retry);
+    }
+
+    #[test]
+    fn generic_payloads_work_without_reactor_types() {
+        let base = Instant::now();
+        let mut wheel: TimerWheel<&'static str> = TimerWheel::new();
+        assert!(wheel.is_empty());
+        wheel.schedule(base + Duration::from_millis(5), "flush");
+        assert!(!wheel.is_empty());
+        assert_eq!(
+            wheel.pop_expired(base + Duration::from_millis(6)),
+            Some("flush")
+        );
     }
 }

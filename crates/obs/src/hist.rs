@@ -68,6 +68,14 @@ impl Histogram {
         self.record_micros(value.as_micros().min(u128::from(u64::MAX)) as u64);
     }
 
+    /// Records one dimensionless count (batch occupancy, frames per
+    /// write). The buckets are the same power-of-two ladder; renderers for
+    /// count-valued histograms expose the bounds as raw integers instead of
+    /// seconds.
+    pub fn record_count(&self, count: u64) {
+        self.record_micros(count);
+    }
+
     /// Records one value in microseconds.
     pub fn record_micros(&self, micros: u64) {
         let i = bucket_index(micros);

@@ -184,6 +184,13 @@ pub struct Registry {
     /// Effort billed to finished jobs: node-ticks over every attempt,
     /// fail-stopped ones included.
     pub job_effort: Counter,
+    /// Jobs per flushed batch (count-valued histogram; occupancy 1 is a
+    /// solo run).
+    pub batch_occupancy: Histogram,
+    /// Batch flushes by trigger (`solo`, `size`, `deadline`, `boundary`).
+    pub batch_flushes: Family,
+    /// Jobs that shared a cube attempt with at least one other job.
+    pub batch_jobs_coalesced: Counter,
 
     // --- adversary harness (aoft-adv) ---
     /// Frames mutated by a live-wire adversary, by fault kind.
@@ -242,6 +249,9 @@ pub struct Registry {
     /// Sends that had to wait on a full per-link tx queue (backpressure
     /// propagated to the producing node thread).
     pub reactor_tx_backpressure: Counter,
+    /// Frames coalesced into each vectored tx write (count-valued
+    /// histogram; 1 means no coalescing happened on that drain).
+    pub reactor_frames_per_write: Histogram,
 
     // --- fleet router (aoft-svc::fleet) ---
     /// Cubes owned by the fleet router (actives + spares).
@@ -272,6 +282,9 @@ impl Registry {
             quarantined_nodes: Gauge::default(),
             job_latency: Histogram::new(),
             job_effort: Counter::default(),
+            batch_occupancy: Histogram::new(),
+            batch_flushes: Family::new("trigger"),
+            batch_jobs_coalesced: Counter::default(),
             adv_mutations: Family::new("fault"),
             adv_drops: Family::new("fault"),
             predicate_checks: Family::new("predicate"),
@@ -295,6 +308,7 @@ impl Registry {
             reactor_links: Gauge::default(),
             reactor_wakeups: Counter::default(),
             reactor_tx_backpressure: Counter::default(),
+            reactor_frames_per_write: Histogram::new(),
             fleet_cubes: Gauge::default(),
             fleet_jobs_routed: Family::new("cube"),
             fleet_cube_health: GaugeFamily::new("cube"),
@@ -384,6 +398,24 @@ impl Registry {
             "aoft_job_effort_ticks_total",
             "Effort billed to finished jobs: node-ticks over every attempt.",
             &self.job_effort,
+        );
+        count_histogram(
+            &mut out,
+            "aoft_batch_occupancy",
+            "Jobs per flushed batch (1 = solo run).",
+            &self.batch_occupancy,
+        );
+        family(
+            &mut out,
+            "aoft_batch_flushes_total",
+            "Batch flushes by trigger (solo, size, deadline, boundary).",
+            &self.batch_flushes,
+        );
+        counter(
+            &mut out,
+            "aoft_batch_jobs_coalesced_total",
+            "Jobs that shared a cube attempt with at least one other job.",
+            &self.batch_jobs_coalesced,
         );
         family(
             &mut out,
@@ -523,6 +555,12 @@ impl Registry {
             "Sends that waited on a full per-link tx queue.",
             &self.reactor_tx_backpressure,
         );
+        count_histogram(
+            &mut out,
+            "aoft_reactor_frames_per_write",
+            "Frames coalesced into each vectored tx write.",
+            &self.reactor_frames_per_write,
+        );
         gauge(
             &mut out,
             "aoft_fleet_cubes",
@@ -637,6 +675,21 @@ fn histogram(out: &mut String, name: &str, help: &str, h: &Histogram) {
     out.push_str(&format!("{name}_count {}\n", snap.count));
 }
 
+/// Like [`histogram`] but for count-valued histograms (batch occupancy,
+/// frames per write): bucket bounds render as raw integers, not seconds.
+fn count_histogram(out: &mut String, name: &str, help: &str, h: &Histogram) {
+    header(out, name, help, "histogram");
+    let snap = h.snapshot();
+    for (bound, cum) in &snap.cumulative {
+        match bound {
+            Some(n) => out.push_str(&format!("{name}_bucket{{le=\"{n}\"}} {cum}\n")),
+            None => out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cum}\n")),
+        }
+    }
+    out.push_str(&format!("{name}_sum {}\n", snap.sum_us));
+    out.push_str(&format!("{name}_count {}\n", snap.count));
+}
+
 static GLOBAL: OnceLock<Registry> = OnceLock::new();
 
 /// The process-wide registry every instrumented crate reports into.
@@ -683,6 +736,10 @@ mod tests {
         reg.violations.add("phi_p", 1);
         reg.net_bytes_sent.add("0→1#0", 640);
         reg.fleet_cube_health.set("0", 1);
+        reg.batch_occupancy.record_count(4);
+        reg.batch_flushes.add("size", 1);
+        reg.batch_jobs_coalesced.add(4);
+        reg.reactor_frames_per_write.record_count(8);
         let text = reg.render_prometheus();
         for name in [
             "aoft_jobs_submitted_total",
@@ -701,6 +758,12 @@ mod tests {
             "aoft_fleet_jobs_routed_total 0",
             "aoft_fleet_cube_health{cube=\"0\"} 1",
             "aoft_fleet_failovers_total",
+            "aoft_batch_occupancy_bucket{le=\"4\"}",
+            "aoft_batch_occupancy_count 1",
+            "aoft_batch_flushes_total{trigger=\"size\"} 1",
+            "aoft_batch_jobs_coalesced_total 4",
+            "aoft_reactor_frames_per_write_bucket{le=\"8\"}",
+            "aoft_reactor_frames_per_write_count 1",
         ] {
             assert!(text.contains(name), "missing {name} in:\n{text}");
         }

@@ -47,6 +47,15 @@ pub struct SvcConfig {
     /// endpoint). Port 0 binds an ephemeral port, reported by
     /// [`SortService::metrics_addr`](crate::SortService::metrics_addr).
     pub metrics_addr: Option<SocketAddr>,
+    /// Most jobs one cube attempt may coalesce into a single composite-key
+    /// sort. `1` (the default) disables batching: every job takes exactly
+    /// the unbatched path. Capped at 1024 — ten sequence bits still leave
+    /// a ±2^20 key range.
+    pub batch_max: usize,
+    /// How long the first job of a forming batch may wait for company
+    /// before the batch is flushed anyway (the deadline trigger). Ignored
+    /// when `batch_max` is 1.
+    pub batch_flush: Duration,
 }
 
 impl SvcConfig {
@@ -67,7 +76,22 @@ impl SvcConfig {
             recv_timeout: Duration::from_millis(800),
             algorithm: Algorithm::FaultTolerant,
             metrics_addr: None,
+            batch_max: 1,
+            batch_flush: Duration::from_millis(1),
         }
+    }
+
+    /// Sets the batching window: coalesce up to `max` compatible jobs per
+    /// cube attempt (`1` disables batching).
+    pub fn batch_max(mut self, max: usize) -> Self {
+        self.batch_max = max;
+        self
+    }
+
+    /// Sets how long a forming batch waits for more jobs before flushing.
+    pub fn batch_flush(mut self, window: Duration) -> Self {
+        self.batch_flush = window;
+        self
     }
 
     /// Sets the admission bound.
@@ -148,6 +172,9 @@ impl SvcConfig {
         if self.quarantine_after == 0 {
             return fail("quarantine_after of zero would quarantine healthy nodes".into());
         }
+        if self.batch_max == 0 || self.batch_max > 1024 {
+            return fail(format!("batch_max {} outside 1..=1024", self.batch_max));
+        }
         // Each worker slot owns a private link-tag namespace of `dim` tags;
         // tags are 8-bit on the wire.
         let tags_needed = self.workers as u64 * self.dim as u64;
@@ -203,6 +230,21 @@ mod tests {
         assert!(SvcConfig::new(3).quarantine_after(0).validate().is_err());
         assert!(SvcConfig::new(8).workers(33).validate().is_err());
         assert!(SvcConfig::new(8).workers(32).validate().is_ok());
+        assert!(SvcConfig::new(3).batch_max(0).validate().is_err());
+        assert!(SvcConfig::new(3).batch_max(1025).validate().is_err());
+        assert!(SvcConfig::new(3).batch_max(1024).validate().is_ok());
+    }
+
+    #[test]
+    fn batching_defaults_off() {
+        let config = SvcConfig::new(3);
+        assert_eq!(config.batch_max, 1, "batching is opt-in");
+        let batched = SvcConfig::new(3)
+            .batch_max(16)
+            .batch_flush(Duration::from_millis(2));
+        assert_eq!(batched.batch_max, 16);
+        assert_eq!(batched.batch_flush, Duration::from_millis(2));
+        assert!(batched.validate().is_ok());
     }
 
     #[test]

@@ -194,18 +194,44 @@ where
         self.submit_excluding(spec, None)
     }
 
-    /// Routes a whole batch, striping it across the routing order. Each
-    /// entry resolves independently: a backpressured tail does not undo an
-    /// admitted head.
+    /// Routes a whole batch, striping *contiguous chunks* across the
+    /// routing order. When the cube config enables batching
+    /// ([`SvcConfig::batch_max`](crate::SvcConfig) > 1), chunks of up to
+    /// `batch_max` consecutive specs land on the same cube so its
+    /// micro-batcher can coalesce them into one composite-key attempt;
+    /// with batching off the chunk size is 1 and this is plain round-robin.
+    /// Each entry resolves independently: a backpressured tail does not
+    /// undo an admitted head.
     pub fn submit_batch(
         &self,
         specs: Vec<JobSpec>,
     ) -> Vec<Result<FleetHandle<'_, T>, SubmitError>> {
         self.refresh_health();
-        specs
-            .into_iter()
-            .map(|spec| self.submit_excluding(spec, None))
-            .collect()
+        let chunk = self.config.cube.batch_max.max(1);
+        let mut results = Vec::with_capacity(specs.len());
+        let mut pinned_cube: Option<usize> = None;
+        for (i, spec) in specs.into_iter().enumerate() {
+            if i % chunk == 0 {
+                pinned_cube = None;
+            }
+            let result = match pinned_cube {
+                // Keep the chunk together: same cube as its first member.
+                // A pinned submit that is refused (backpressure) falls
+                // through to normal routing rather than failing the spec.
+                Some(cube) => self
+                    .submit_to(cube, spec.clone())
+                    .or_else(|_| self.submit_excluding(spec, None)),
+                None => {
+                    let result = self.submit_excluding(spec, None);
+                    if let Ok(handle) = &result {
+                        pinned_cube = Some(handle.cube);
+                    }
+                    result
+                }
+            };
+            results.push(result);
+        }
+        results
     }
 
     /// Pins a job to cube `index`, bypassing routing — an operational and

@@ -42,6 +42,7 @@
 
 #![forbid(unsafe_code)]
 
+mod batch;
 mod config;
 mod fleet;
 mod job;

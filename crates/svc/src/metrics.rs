@@ -32,6 +32,8 @@ struct MetricsState {
     retries: u64,
     recovered_jobs: u64,
     effort: u64,
+    batches_flushed: u64,
+    jobs_coalesced: u64,
     sim: NodeMetrics,
 }
 
@@ -68,6 +70,22 @@ impl MetricsSink {
         reg.job_latency.record(latency);
     }
 
+    /// Records a batch leaving the admission door: `jobs` riders flushed by
+    /// `trigger` (`solo`, `size`, `deadline`, `boundary`). Jobs only count
+    /// as coalesced when they actually shared the attempt with another job.
+    pub fn batch_flushed(&self, jobs: usize, trigger: &'static str) {
+        let coalesced = if jobs > 1 { jobs as u64 } else { 0 };
+        {
+            let mut state = self.state.lock();
+            state.batches_flushed += 1;
+            state.jobs_coalesced += coalesced;
+        }
+        let reg = aoft_obs::global();
+        reg.batch_occupancy.record_count(jobs as u64);
+        reg.batch_flushes.add(trigger, 1);
+        reg.batch_jobs_coalesced.add(coalesced);
+    }
+
     pub fn job_failed(&self, retries: u64, effort: u64) {
         {
             let mut state = self.state.lock();
@@ -91,6 +109,8 @@ impl MetricsSink {
             retries: state.retries,
             recovered_jobs: state.recovered_jobs,
             effort: state.effort,
+            batches_flushed: state.batches_flushed,
+            jobs_coalesced: state.jobs_coalesced,
             queue_depth,
             quarantined,
             latency_p50: self.latency.percentile(50),
@@ -120,6 +140,11 @@ pub struct SvcMetrics {
     /// over every attempt, fail-stopped ones included (retried work is
     /// billed, not hidden).
     pub effort: u64,
+    /// Batches flushed from the admission door (a solo run counts as a
+    /// batch of one).
+    pub batches_flushed: u64,
+    /// Jobs that shared a cube attempt with at least one other job.
+    pub jobs_coalesced: u64,
     /// Jobs waiting in the queue at snapshot time.
     pub queue_depth: usize,
     /// Physical node labels currently quarantined service-wide.
@@ -181,6 +206,8 @@ mod tests {
         };
         sink.job_completed(Duration::from_millis(5), 2, 40, &sim);
         sink.job_failed(1, 15);
+        sink.batch_flushed(1, "solo");
+        sink.batch_flushed(3, "size");
         let snap = sink.snapshot(4, vec![5]);
         assert_eq!(snap.jobs_submitted, 2);
         assert_eq!(snap.jobs_rejected, 1);
@@ -189,6 +216,8 @@ mod tests {
         assert_eq!(snap.retries, 3);
         assert_eq!(snap.recovered_jobs, 1);
         assert_eq!(snap.effort, 55, "completed and failed effort both bill");
+        assert_eq!(snap.batches_flushed, 2);
+        assert_eq!(snap.jobs_coalesced, 3, "solo runs never count as coalesced");
         assert_eq!(snap.queue_depth, 4);
         assert_eq!(snap.quarantined, vec![5]);
         assert_eq!(snap.latency_p50, Duration::from_millis(5));

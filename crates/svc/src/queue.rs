@@ -76,6 +76,33 @@ impl JobQueue {
         }
     }
 
+    /// Pops the front job if `pred` accepts it, waiting until `deadline`
+    /// for one to arrive. Used by the batcher to gather companions for a
+    /// forming batch: an incompatible job at the front ends the batch at a
+    /// [`PopMore::Boundary`] (FIFO order is never reordered around), an
+    /// empty queue at the deadline ends it at [`PopMore::TimedOut`].
+    pub fn pop_compatible(&self, deadline: Instant, pred: impl Fn(&QueuedJob) -> bool) -> PopMore {
+        let mut state = self.state.lock();
+        loop {
+            if let Some(front) = state.jobs.front() {
+                if !pred(front) {
+                    return PopMore::Boundary;
+                }
+                let job = state.jobs.pop_front().expect("front exists");
+                aoft_obs::global().queue_depth.set(state.jobs.len() as i64);
+                return PopMore::Job(job);
+            }
+            if state.stopped {
+                return PopMore::Stopped;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return PopMore::TimedOut;
+            }
+            self.available.wait_for(&mut state, deadline - now);
+        }
+    }
+
     /// Jobs currently waiting (excludes jobs already claimed by workers).
     pub fn len(&self) -> usize {
         self.state.lock().jobs.len()
@@ -100,6 +127,19 @@ impl JobQueue {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum PushRefused {
     Full,
+    Stopped,
+}
+
+/// Outcome of [`JobQueue::pop_compatible`].
+pub(crate) enum PopMore {
+    /// The front job matched the predicate and was claimed.
+    Job(QueuedJob),
+    /// The front job is incompatible with the forming batch; it stays
+    /// queued for the next batch.
+    Boundary,
+    /// The flush deadline passed with the queue empty.
+    TimedOut,
+    /// The queue stopped while waiting.
     Stopped,
 }
 
@@ -148,6 +188,39 @@ mod tests {
             assert!(second.is_none());
         });
         assert_eq!(queue.push(job(9)).err(), Some(PushRefused::Stopped));
+    }
+
+    #[test]
+    fn pop_compatible_respects_boundary_deadline_and_stop() {
+        let queue = JobQueue::new(4);
+        queue.push(job(1)).ok().unwrap();
+        queue.push(job(2)).ok().unwrap();
+        let soon = Instant::now() + std::time::Duration::from_millis(50);
+        // Front accepted → claimed in FIFO order.
+        match queue.pop_compatible(soon, |j| j.id == JobId(1)) {
+            PopMore::Job(j) => assert_eq!(j.id, JobId(1)),
+            _ => panic!("front job matches"),
+        }
+        // Front rejected → boundary, job stays queued.
+        assert!(matches!(
+            queue.pop_compatible(soon, |j| j.id != JobId(2)),
+            PopMore::Boundary
+        ));
+        assert_eq!(queue.len(), 1);
+        queue.pop().unwrap();
+        // Empty queue → times out at the deadline.
+        let deadline = Instant::now() + std::time::Duration::from_millis(20);
+        assert!(matches!(
+            queue.pop_compatible(deadline, |_| true),
+            PopMore::TimedOut
+        ));
+        assert!(Instant::now() >= deadline, "waited out the deadline");
+        // Stopped queue → reports stop, not timeout.
+        queue.stop();
+        assert!(matches!(
+            queue.pop_compatible(Instant::now() + std::time::Duration::from_secs(5), |_| true),
+            PopMore::Stopped
+        ));
     }
 
     #[test]

@@ -10,9 +10,11 @@ use std::time::{Duration, Instant};
 
 use aoft_net::{Backoff, LinkCache, MappedTransport, Transport};
 use aoft_obs::ObsServer;
-use aoft_sim::{ErrorReport, NodeMetrics, Packet};
+use aoft_sim::{ErrorReport, NodeMetrics, Packet, Trace};
+use aoft_sort::composite::{demux, mux, CompositeCodec};
 use aoft_sort::{Msg, SortBuilder, SortError};
 
+use crate::batch::Batcher;
 use crate::config::{ConfigError, SvcConfig};
 use crate::job::{JobError, JobHandle, JobId, JobReport, JobSpec, SubmitError};
 use crate::metrics::{MetricsSink, SvcMetrics};
@@ -214,22 +216,32 @@ fn worker_loop<T>(inner: Arc<Inner<T>>, slot: usize)
 where
     T: Transport<Packet<Msg>> + Send + Sync + 'static,
 {
-    while let Some(job) = inner.queue.pop() {
-        aoft_obs::global().inflight_jobs.add(1);
-        let (result, effort) = run_job(&inner, slot, &job);
-        aoft_obs::global().inflight_jobs.add(-1);
-        match &result {
-            Ok(report) => inner.metrics.job_completed(
-                report.latency,
-                (report.attempts - 1) as u64,
-                effort,
-                &report.metrics,
-            ),
-            Err(_) => inner
-                .metrics
-                .job_failed(inner.config.max_attempts.saturating_sub(1) as u64, effort),
+    let batcher = Batcher::new(&inner.config);
+    while let Some(batch) = batcher.next_batch(&inner.queue) {
+        inner.metrics.batch_flushed(batch.jobs.len(), batch.trigger);
+        let inflight = batch.jobs.len() as i64;
+        aoft_obs::global().inflight_jobs.add(inflight);
+        if batch.jobs.len() == 1 {
+            // Solo batches — and everything when `batch_max` is 1 — take
+            // the original per-job path, byte for byte.
+            let job = batch.jobs.into_iter().next().expect("batch of one");
+            let (result, effort) = run_job(&inner, slot, &job);
+            match &result {
+                Ok(report) => inner.metrics.job_completed(
+                    report.latency,
+                    (report.attempts - 1) as u64,
+                    effort,
+                    &report.metrics,
+                ),
+                Err(_) => inner
+                    .metrics
+                    .job_failed(inner.config.max_attempts.saturating_sub(1) as u64, effort),
+            }
+            let _ = job.reply.send(result);
+        } else {
+            run_batch(&inner, slot, batch.jobs, batcher.codec());
         }
-        let _ = job.reply.send(result);
+        aoft_obs::global().inflight_jobs.add(-inflight);
     }
 }
 
@@ -363,6 +375,326 @@ where
         }),
         effort,
     )
+}
+
+/// One job riding a batch, with the accounting that follows it through
+/// retries and re-splits.
+struct BatchJob {
+    job: QueuedJob,
+    /// Effort billed so far: this rider's proportional share of every
+    /// attempt it took part in, fail-stopped ones included.
+    effort: u64,
+    /// Fail-stop reports of every attempt this rider was aboard.
+    detections: Vec<Vec<ErrorReport>>,
+    /// Attempts this rider has been aboard (batched or post-split).
+    attempts: usize,
+}
+
+/// Runs a multi-job batch to completion: every rider's reply channel is
+/// answered (success or loud failure) and the metrics sink billed, exactly
+/// as the solo path does per job.
+fn run_batch<T>(inner: &Inner<T>, slot: usize, jobs: Vec<QueuedJob>, codec: CompositeCodec)
+where
+    T: Transport<Packet<Msg>> + Send + Sync + 'static,
+{
+    let riders = jobs
+        .into_iter()
+        .map(|job| BatchJob {
+            job,
+            effort: 0,
+            detections: Vec::new(),
+            attempts: 0,
+        })
+        .collect();
+    // One avoid set and one backoff schedule for the whole batch, shared
+    // across re-splits: violations name nodes, not jobs, so what one half
+    // learns the other must not re-discover.
+    let mut avoid: BTreeSet<u32> = BTreeSet::new();
+    let mut backoff = Backoff::new(inner.config.backoff_initial, inner.config.backoff_max);
+    execute_batch(
+        inner,
+        slot,
+        riders,
+        codec,
+        inner.config.max_attempts,
+        &mut avoid,
+        &mut backoff,
+    );
+}
+
+/// One cube attempt over `riders`' composite keys, recursing on failure.
+///
+/// Recovery stays job-agnostic: a fail-stop is diagnosed exactly as for a
+/// solo job (nodes struck, quarantine counted), then the *batch* retries on
+/// the surviving subcube — split in half when it held two or more jobs, so
+/// a pathological interaction cannot pin every rider to the same fate.
+/// `budget` is the attempt budget shared down the recursion; each level
+/// consumes one attempt before splitting.
+fn execute_batch<T>(
+    inner: &Inner<T>,
+    slot: usize,
+    mut riders: Vec<BatchJob>,
+    codec: CompositeCodec,
+    budget: usize,
+    avoid: &mut BTreeSet<u32>,
+    backoff: &mut Backoff,
+) where
+    T: Transport<Packet<Msg>> + Send + Sync + 'static,
+{
+    let config = &inner.config;
+    if budget == 0 {
+        for rider in riders {
+            fail_rider(
+                inner,
+                rider.job,
+                rider.attempts,
+                rider.effort,
+                JobError::Exhausted {
+                    attempts: rider.attempts,
+                    detections: rider.detections,
+                },
+            );
+        }
+        return;
+    }
+    let retrying = riders.iter().any(|r| r.attempts > 0);
+    if retrying {
+        let delay = backoff.next_delay();
+        if delay > Duration::ZERO {
+            std::thread::sleep(delay);
+        }
+        if inner.recovery.plan(avoid).is_err() {
+            // Same fallback as the solo path: a timeout cascade implicated
+            // more nodes than any single fault can; retry on what the
+            // service still trusts.
+            avoid.clear();
+        }
+    }
+    let plan = match inner.recovery.plan(avoid) {
+        Ok(plan) => plan,
+        Err(healthy) => {
+            for rider in riders {
+                fail_rider(
+                    inner,
+                    rider.job,
+                    rider.attempts,
+                    rider.effort,
+                    JobError::CubeExhausted {
+                        healthy,
+                        min_dim: config.min_dim,
+                    },
+                );
+            }
+            return;
+        }
+    };
+    let nodes = 1usize << plan.dim;
+    // Lexicographic composites: each job's keys become a contiguous,
+    // internally ordered segment of the one sorted output. A post-split
+    // batch of one runs its plain keys — no tag overhead, full key range.
+    let keys = if riders.len() == 1 {
+        riders[0].job.spec.keys.clone()
+    } else {
+        let segments: Vec<&[i32]> = riders.iter().map(|r| r.job.spec.keys.as_slice()).collect();
+        match mux(codec, &segments) {
+            Some(keys) => keys,
+            None => {
+                // Unreachable: compatibility was checked per job at batch
+                // time against this same codec. Defense in depth.
+                for rider in riders {
+                    fail_rider(
+                        inner,
+                        rider.job,
+                        rider.attempts,
+                        rider.effort,
+                        JobError::Runtime("batched keys no longer fit the composite codec".into()),
+                    );
+                }
+                return;
+            }
+        }
+    };
+    if keys.len() % nodes != 0 {
+        // Unreachable after the submit-side check (each rider's count
+        // divides every power-of-two subcube, so any sum does too), kept as
+        // defense in depth like the solo path's.
+        for rider in riders {
+            fail_rider(
+                inner,
+                rider.job,
+                rider.attempts,
+                rider.effort,
+                JobError::Invalid(format!(
+                    "{} batched keys do not divide over the degraded {nodes}-node cube",
+                    keys.len()
+                )),
+            );
+        }
+        return;
+    }
+    let total_len = keys.len() as u64;
+    let run_id = inner.next_run.fetch_add(1, Ordering::Relaxed) + 1;
+    aoft_obs::global().attempts.inc();
+    aoft_obs::emit(
+        aoft_obs::Event::new("attempt_started")
+            .job(riders[0].job.id.0)
+            .attempt(riders[0].attempts as u32)
+            .detail(format!(
+                "run {run_id} on a {}-dim cube ({} coalesced job(s))",
+                plan.dim,
+                riders.len()
+            )),
+    );
+    for rider in &mut riders {
+        rider.attempts += 1;
+    }
+    let tag_base = (slot as u32 * config.dim) as u8;
+    let transport =
+        MappedTransport::new(Arc::clone(&inner.cache), plan.map.clone()).with_tag_base(tag_base);
+    let builder = SortBuilder::new(config.algorithm)
+        .keys(keys)
+        .direction(riders[0].job.spec.direction)
+        .nodes(nodes)
+        .recv_timeout(config.recv_timeout)
+        .job(run_id);
+    match std::panic::catch_unwind(AssertUnwindSafe(|| builder.run_on(transport))) {
+        Ok(Ok(report)) => {
+            let lens: Vec<usize> = riders.iter().map(|r| r.job.spec.keys.len()).collect();
+            let outputs = if riders.len() == 1 {
+                vec![report.output().to_vec()]
+            } else {
+                match demux(codec, report.output(), &lens) {
+                    Ok(outputs) => outputs,
+                    Err(err) => {
+                        // A verified sort whose output is not a permutation
+                        // of the batch is corruption the predicates cannot
+                        // see (they check order, not tags). Fail-stop loud,
+                        // never hand a job another job's keys.
+                        for rider in riders {
+                            fail_rider(
+                                inner,
+                                rider.job,
+                                rider.attempts,
+                                rider.effort,
+                                JobError::Runtime(format!("batch demux integrity check: {err}")),
+                            );
+                        }
+                        return;
+                    }
+                }
+            };
+            let attempt_effort = report.metrics().effort();
+            let mut merged = NodeMetrics::default();
+            for node in &report.metrics().nodes {
+                merged.merge(node);
+            }
+            merged.merge(&report.metrics().host);
+            for (i, (rider, output)) in riders.into_iter().zip(outputs).enumerate() {
+                let share =
+                    effort_share(attempt_effort, rider.job.spec.keys.len() as u64, total_len);
+                let effort = rider.effort + share;
+                let job_report = JobReport {
+                    id: rider.job.id,
+                    output,
+                    attempts: rider.attempts,
+                    dim: plan.dim,
+                    detections: rider.detections,
+                    latency: rider.job.submitted_at.elapsed(),
+                    metrics: merged,
+                    effort,
+                    trace: Trace::default(),
+                };
+                // The attempt's simulator counters are service-billed once
+                // (first rider), not once per rider; every report still
+                // carries the merged view.
+                let sim = if i == 0 {
+                    merged
+                } else {
+                    NodeMetrics::default()
+                };
+                inner.metrics.job_completed(
+                    job_report.latency,
+                    (rider.attempts - 1) as u64,
+                    share,
+                    &sim,
+                );
+                let _ = rider.job.reply.send(Ok(job_report));
+            }
+        }
+        Ok(Err(SortError::Detected {
+            reports,
+            effort: wasted,
+        })) => {
+            aoft_obs::emit(
+                aoft_obs::Event::new("attempt_failstop")
+                    .job(riders[0].job.id.0)
+                    .attempt((riders[0].attempts - 1) as u32)
+                    .detail(format!(
+                        "{} report(s) over {} coalesced job(s)",
+                        reports.len(),
+                        riders.len()
+                    )),
+            );
+            digest_failure(inner, &reports, &plan, avoid);
+            for rider in &mut riders {
+                rider.effort += effort_share(wasted, rider.job.spec.keys.len() as u64, total_len);
+                rider.detections.push(reports.clone());
+            }
+            if riders.len() >= 2 {
+                // Re-split: each half retries as its own (smaller) batch on
+                // the surviving subcube, sequentially, sharing the avoid
+                // set and backoff schedule.
+                let tail = riders.split_off(riders.len() / 2);
+                execute_batch(inner, slot, riders, codec, budget - 1, avoid, backoff);
+                execute_batch(inner, slot, tail, codec, budget - 1, avoid, backoff);
+            } else {
+                execute_batch(inner, slot, riders, codec, budget - 1, avoid, backoff);
+            }
+        }
+        Ok(Err(err)) => {
+            for rider in riders {
+                fail_rider(
+                    inner,
+                    rider.job,
+                    rider.attempts,
+                    rider.effort,
+                    JobError::Invalid(err.to_string()),
+                );
+            }
+        }
+        Err(payload) => {
+            let msg = panic_message(payload);
+            for rider in riders {
+                fail_rider(
+                    inner,
+                    rider.job,
+                    rider.attempts,
+                    rider.effort,
+                    JobError::Runtime(msg.clone()),
+                );
+            }
+        }
+    }
+}
+
+/// A rider's proportional share of one attempt's effort, by key count.
+fn effort_share(attempt_effort: u64, rider_len: u64, total_len: u64) -> u64 {
+    if total_len == 0 {
+        return 0;
+    }
+    ((u128::from(attempt_effort) * u128::from(rider_len)) / u128::from(total_len)) as u64
+}
+
+/// Answers one batched job's reply channel with a loud failure and bills
+/// the sink, mirroring the solo path's failure accounting.
+fn fail_rider<T>(inner: &Inner<T>, job: QueuedJob, attempts: usize, effort: u64, err: JobError)
+where
+    T: Transport<Packet<Msg>> + Send + Sync + 'static,
+{
+    inner
+        .metrics
+        .job_failed(attempts.saturating_sub(1) as u64, effort);
+    let _ = job.reply.send(Err(err));
 }
 
 /// Feeds one fail-stopped attempt to the service's fault memory: the job

@@ -1,0 +1,193 @@
+//! Acceptance and property tests for composite-key micro-batching: a
+//! coalesced attempt must be indistinguishable — bit for bit — from running
+//! each job alone, under clean runs, injected fault plans, and a mid-batch
+//! node death.
+
+mod common;
+
+use std::time::Duration;
+
+use aoft::faults::{FaultKind, FaultPlan, FaultyTransport, LinkFault, Trigger};
+use aoft::hypercube::NodeId;
+use aoft::net::Transport;
+use aoft::sim::{InProc, Packet};
+use aoft::sort::Msg;
+use aoft::svc::{JobSpec, SortService, SvcConfig};
+use proptest::prelude::*;
+
+/// One worker so queued jobs actually meet in its batcher; a short flush
+/// window keeps lonely jobs fast.
+fn batched_config(batch_max: usize) -> SvcConfig {
+    SvcConfig::new(3)
+        .workers(1)
+        .batch_max(batch_max)
+        .batch_flush(Duration::from_millis(5))
+        .recv_timeout(Duration::from_millis(300))
+}
+
+/// Burst-submits every spec, then waits in order. Panics on any loud
+/// failure: these tests only run plans the service is expected to survive.
+fn run_all<T>(service: &SortService<T>, specs: &[JobSpec]) -> Vec<Vec<i32>>
+where
+    T: Transport<Packet<Msg>> + Send + Sync + 'static,
+{
+    let handles: Vec<_> = specs
+        .iter()
+        .map(|spec| service.submit(spec.clone()).expect("admit"))
+        .collect();
+    handles
+        .into_iter()
+        .enumerate()
+        .map(|(i, handle)| {
+            handle
+                .wait()
+                .unwrap_or_else(|err| panic!("job {i} failed loudly: {err}"))
+                .output
+        })
+        .collect()
+}
+
+/// Deterministic keys inside every codec's admissible range (batch_max 1024
+/// still leaves ±2^20; these stay within ±2^10).
+fn batch_keys(salt: i64, len: usize) -> Vec<i32> {
+    (0..len as i64)
+        .map(|x| (((x + salt).wrapping_mul(2_654_435_761)) % 1024) as i32)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole property: a batched service answers every job with the
+    /// exact bytes a batching-off service produces for the same stream —
+    /// clean jobs and solo-routed single-fault jobs alike.
+    #[test]
+    fn batched_outputs_are_bit_identical_to_solo_runs(
+        salts in prop::collection::vec(0i64..10_000, 2..7),
+        lens in prop::collection::vec(1usize..5, 2..7),
+        fault_seed in any::<u64>(),
+    ) {
+        let specs: Vec<JobSpec> = salts
+            .iter()
+            .zip(lens.iter().cycle())
+            .enumerate()
+            .map(|(i, (&salt, &len))| {
+                // Key counts must divide the 8-node cube: multiples of 8.
+                let spec = JobSpec::new(batch_keys(salt, len * 8));
+                if i == 0 && fault_seed % 3 == 0 {
+                    // A single-fault rider: incompatible, takes the solo
+                    // path inside the same batched service.
+                    let node = NodeId::new((fault_seed % 8) as u32);
+                    spec.fault_plan(FaultPlan::new().with_fault(
+                        node,
+                        FaultKind::Crash,
+                        Trigger::from_seq(1),
+                        fault_seed,
+                    ))
+                } else {
+                    spec
+                }
+            })
+            .collect();
+
+        let batched = SortService::start(batched_config(8), InProc::new()).expect("start");
+        let solo = SortService::start(batched_config(1), InProc::new()).expect("start");
+        let got = run_all(&batched, &specs);
+        let want = run_all(&solo, &specs);
+        prop_assert_eq!(&got, &want, "batched and solo outputs diverge");
+        for (spec, out) in specs.iter().zip(&got) {
+            prop_assert_eq!(out, &common::sorted(&spec.keys), "silently wrong output");
+        }
+        batched.shutdown();
+        solo.shutdown();
+    }
+}
+
+/// A burst into one worker must actually coalesce — and the demuxed answers
+/// must still be per-job exact.
+#[test]
+fn burst_coalesces_into_multi_job_attempts() {
+    let service = SortService::start(batched_config(8), InProc::new()).expect("start");
+    let specs: Vec<JobSpec> = (0..32).map(|i| JobSpec::new(batch_keys(i, 16))).collect();
+    let outputs = run_all(&service, &specs);
+    for (spec, out) in specs.iter().zip(&outputs) {
+        assert_eq!(out, &common::sorted(&spec.keys));
+    }
+    let metrics = service.metrics();
+    assert_eq!(metrics.jobs_completed, 32);
+    assert!(
+        metrics.jobs_coalesced > 0,
+        "a 32-job burst into one worker must share at least one attempt"
+    );
+    assert!(
+        metrics.batches_flushed < 32,
+        "coalescing must need fewer attempts than jobs"
+    );
+    service.shutdown();
+}
+
+/// Recovery stays job-agnostic under batching: node 5 is fail-silent from
+/// its first send, so the first batched attempt fail-stops mid-flight. The
+/// violation names nodes (not jobs), the implicated pair is quarantined,
+/// and every rider in the batch still completes with a verified output on
+/// the degraded subcube.
+#[test]
+fn mid_batch_node_death_quarantines_and_completes_every_rider() {
+    let faulty = FaultyTransport::new(InProc::new(), 0xBA7C4).fault_sender(
+        5,
+        LinkFault {
+            kill_after: Some(0),
+            ..LinkFault::default()
+        },
+    );
+    let config = batched_config(8)
+        .max_attempts(4)
+        .quarantine_after(1)
+        .backoff(Duration::ZERO, Duration::ZERO);
+    let service = SortService::start(config, faulty).expect("start");
+
+    let specs: Vec<JobSpec> = (100..108).map(|i| JobSpec::new(batch_keys(i, 8))).collect();
+    let outputs = run_all(&service, &specs);
+    for (spec, out) in specs.iter().zip(&outputs) {
+        assert_eq!(out, &common::sorted(&spec.keys), "never silently wrong");
+    }
+
+    let metrics = service.metrics();
+    assert_eq!(metrics.jobs_completed, 8, "every rider must complete");
+    assert_eq!(metrics.jobs_failed, 0);
+    assert!(
+        metrics.retries >= 1,
+        "the mid-batch kill must cost at least one retry"
+    );
+    let quarantined = service.quarantined();
+    assert!(
+        !quarantined.is_empty(),
+        "the fail-stop must quarantine the implicated link endpoints"
+    );
+    assert!(
+        quarantined.iter().all(|&n| n < 8),
+        "quarantine holds physical cube labels, got {quarantined:?}"
+    );
+    service.shutdown();
+}
+
+/// The unbatched-path guard: `batch_max = 1` must behave exactly like the
+/// service always has — every flush is a solo, nothing is ever coalesced,
+/// and outputs are the per-job sorts.
+#[test]
+fn batch_max_one_is_byte_identical_to_the_unbatched_path() {
+    let service = SortService::start(batched_config(1), InProc::new()).expect("start");
+    let specs: Vec<JobSpec> = (0..8).map(|i| JobSpec::new(batch_keys(i, 16))).collect();
+    let outputs = run_all(&service, &specs);
+    for (spec, out) in specs.iter().zip(&outputs) {
+        assert_eq!(out, &common::sorted(&spec.keys));
+    }
+    let metrics = service.metrics();
+    assert_eq!(metrics.jobs_completed, 8);
+    assert_eq!(metrics.jobs_coalesced, 0, "batch_max=1 never coalesces");
+    assert_eq!(
+        metrics.batches_flushed, 8,
+        "every job is its own batch of one"
+    );
+    service.shutdown();
+}

@@ -194,10 +194,13 @@ fn backpressure_aggregates_across_every_cube() {
 
 /// The nightly fleet soak: stream `AOFT_FLEET_JOBS` jobs (default 10 000)
 /// through a 2-active + 1-spare fleet, every 25th under an injected
-/// model-level crash, and verify every single answer. With
-/// `AOFT_SOAK_JOURNAL=<path>` the run also writes the observability event
-/// journal there, and with `AOFT_FLEET_SCRAPE=<path>` the final metrics
-/// scrape; nightly archives both as artifacts.
+/// model-level crash, and verify every single answer. `AOFT_BATCH_MAX`
+/// (default 16) sets each cube's micro-batcher width, so the soak also
+/// exercises coalesced composite-key attempts under sporadic faults; set it
+/// to 1 to soak the unbatched path. With `AOFT_SOAK_JOURNAL=<path>` the run
+/// also writes the observability event journal there, and with
+/// `AOFT_FLEET_SCRAPE=<path>` the final metrics scrape; nightly archives
+/// both as artifacts.
 #[test]
 #[ignore = "long-running fleet soak; nightly runs it via -- --ignored"]
 fn fleet_soak_streams_ten_thousand_jobs() {
@@ -205,6 +208,10 @@ fn fleet_soak_streams_ten_thousand_jobs() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(10_000);
+    let batch_max: usize = std::env::var("AOFT_BATCH_MAX")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
     if let Ok(path) = std::env::var("AOFT_SOAK_JOURNAL") {
         aoft::obs::install_journal(&path).expect("journal path is writable");
     }
@@ -218,7 +225,9 @@ fn fleet_soak_streams_ten_thousand_jobs() {
         .max_attempts(4)
         .quarantine_after(u32::MAX)
         .backoff(Duration::from_millis(1), Duration::from_millis(10))
-        .recv_timeout(Duration::from_millis(300));
+        .recv_timeout(Duration::from_millis(300))
+        .batch_max(batch_max)
+        .batch_flush(Duration::from_millis(1));
     let router = FleetRouter::start(FleetConfig::new(cube, 2).spares(1), |_| Ok(InProc::new()))
         .expect("fleet starts");
 

@@ -210,6 +210,10 @@ fn metrics_endpoint_serves_prometheus_exposition() {
         "aoft_net_heartbeat_misses_total",
         "aoft_net_peer_dead_total",
         "aoft_job_effort_ticks_total",
+        "aoft_batch_occupancy",
+        "aoft_batch_flushes_total",
+        "aoft_batch_jobs_coalesced_total",
+        "aoft_reactor_frames_per_write",
         "aoft_adv_mutations_total",
         "aoft_adv_drops_total",
         "aoft_buf_pool_leases_total",
