@@ -27,7 +27,8 @@ use aoft_hypercube::NodeId;
 use aoft_net::frame::{decode_frame_body, encode_frame, frame_header, FrameKind};
 use aoft_net::wire::from_bytes;
 use aoft_net::{
-    pool, CancelToken, InProc, LinkId, ReactorConfig, ReactorTransport, Transport, Wire,
+    pool, CancelToken, InProc, LinkId, MuxConfig, MuxTransport, ReactorConfig, ReactorTransport,
+    Transport, Wire,
 };
 use aoft_sort::predicates::{bit_compare_stage, bit_compare_stage_with, PredicateScratch};
 use aoft_sort::{Block, LbsBuffer, LbsWire, MergeScratch, Msg};
@@ -198,6 +199,20 @@ fn take_snapshot(quick: bool) -> Snapshot {
     // put 16 here; a regression to that shape fails the gate loudly.
     metrics.insert("transport_threads".to_string(), transport_threads(8));
 
+    // Mux transport: the same one-frame round trip, but over a peer-pair
+    // session with event-driven tx doorbells — the latency the mux backend
+    // buys back from the reactor's polling sweeps. Both directions of the
+    // ping-pong share one physical session.
+    metrics.insert(
+        "mux_rtt".to_string(),
+        mux_rtt(if quick { 20 } else { 60 }, 10),
+    );
+
+    // The mux socket claim as a gated number, asserted against the
+    // kernel's fd table: 16 directed links across 4 peer pairs must cost
+    // one connection per *pair* (8 loopback fds), not per link (32).
+    metrics.insert("mux_sockets".to_string(), mux_sockets());
+
     // Fleet throughput, clean vs degraded: jobs/second through a 2-cube
     // router, then through the same fleet after one cube's quarantine
     // shrank it out of the rotation. Higher is better — the compare gate
@@ -338,6 +353,107 @@ fn reactor_rtt(samples: usize, batch: usize) -> Metric {
     cancel.cancel();
     echo.join().expect("echo thread exits");
     metric
+}
+
+/// Median/p99 of a one-frame ping-pong over a loopback mux transport: the
+/// ping link (0→1) and the echo link (1→0) resolve to the same peer-pair
+/// session, so the measurement exercises the shared tx queue, the doorbell
+/// wakeup, and the demux path in both directions.
+fn mux_rtt(samples: usize, batch: usize) -> Metric {
+    let transport = MuxTransport::bind(MuxConfig::default()).expect("bind mux");
+    let addr = transport.local_addr();
+    transport.set_peer(0, addr);
+    transport.set_peer(1, addr);
+    let ping = LinkId {
+        from: 0,
+        to: 1,
+        tag: 0,
+    };
+    let pong = LinkId {
+        from: 1,
+        to: 0,
+        tag: 0,
+    };
+    let deadline = Duration::from_secs(5);
+    let tx = Transport::<Vec<i64>>::connect_tx(&transport, ping, deadline).expect("dial ping");
+    let echo_rx =
+        Transport::<Vec<i64>>::connect_rx(&transport, ping, deadline).expect("claim ping");
+    let echo_tx = Transport::<Vec<i64>>::connect_tx(&transport, pong, deadline).expect("dial pong");
+    let rx = Transport::<Vec<i64>>::connect_rx(&transport, pong, deadline).expect("claim pong");
+
+    let cancel = CancelToken::new();
+    let echo_cancel = cancel.clone();
+    let echo = std::thread::spawn(move || {
+        while let Ok(msg) = echo_rx.recv_deadline(Duration::from_secs(5), &echo_cancel) {
+            if echo_tx.send(msg).is_err() {
+                break;
+            }
+        }
+    });
+
+    let payload: Vec<i64> = (0..64).collect();
+    let metric = measure(samples, batch, || {
+        tx.send(payload.clone()).expect("queue the ping");
+        std::hint::black_box(
+            rx.recv_deadline(Duration::from_secs(5), &cancel)
+                .expect("echo returns"),
+        );
+    });
+    cancel.cancel();
+    echo.join().expect("echo thread exits");
+    metric
+}
+
+/// File descriptors the mux backend adds for 16 directed links spread
+/// across 4 peer pairs, read from `/proc/self/fd` after every link is
+/// established. One loopback connection per pair is 2 fds per pair (both
+/// ends live here) = 8; socket-per-link would be 32. Asserted in-process
+/// so a regression fails the snapshot itself, not just the compare gate.
+fn mux_sockets() -> Metric {
+    let live = || {
+        std::fs::read_dir("/proc/self/fd")
+            .ok()
+            .map(|dir| dir.count() as i64)
+    };
+    let transport = MuxTransport::bind(MuxConfig::default()).expect("bind mux");
+    let addr = transport.local_addr();
+    for label in 0..8 {
+        transport.set_peer(label, addr);
+    }
+    let before = live();
+    let deadline = Duration::from_secs(5);
+    let mut endpoints = Vec::new();
+    let pairs = [(0u32, 1u32), (2, 3), (4, 5), (6, 7)];
+    for (lo, hi) in pairs {
+        for (from, to) in [(lo, hi), (hi, lo)] {
+            for tag in 0..2u8 {
+                let link = LinkId { from, to, tag };
+                endpoints.push(
+                    Transport::<Vec<i64>>::connect_tx(&transport, link, deadline).expect("dial"),
+                );
+            }
+        }
+    }
+    let fds = match (before, live()) {
+        (Some(b), Some(a)) => (a - b).max(0) as f64,
+        // No procfs: report the transport's own session-end count (one fd
+        // per end), which the loopback tests cross-check against procfs.
+        _ => transport.session_count() as f64,
+    };
+    assert!(
+        fds <= (2 * pairs.len() + 4) as f64,
+        "mux fd count {fds} for {} peer pairs is not O(pairs) \
+         (socket-per-link would be {})",
+        pairs.len(),
+        2 * endpoints.len()
+    );
+    drop(endpoints);
+    Metric {
+        unit: "fds".to_string(),
+        median: fds,
+        p99: fds,
+        samples: 1,
+    }
 }
 
 /// OS threads the reactor backend adds to the process while carrying

@@ -37,6 +37,10 @@ pub enum FrameKind {
     Heartbeat,
     /// Orderly close announcement; carries no payload.
     Bye,
+    /// Orderly close of *one* link on a multiplexed session; the payload is
+    /// the closing link's 9-byte demux tag. On a dedicated per-link socket
+    /// this is equivalent to [`FrameKind::Bye`].
+    LinkBye,
 }
 
 impl FrameKind {
@@ -45,6 +49,7 @@ impl FrameKind {
             FrameKind::Data => 0,
             FrameKind::Heartbeat => 1,
             FrameKind::Bye => 2,
+            FrameKind::LinkBye => 3,
         }
     }
 
@@ -53,6 +58,7 @@ impl FrameKind {
             0 => Ok(FrameKind::Data),
             1 => Ok(FrameKind::Heartbeat),
             2 => Ok(FrameKind::Bye),
+            3 => Ok(FrameKind::LinkBye),
             other => Err(CodecError::msg(format!("unknown frame kind {other:#04x}"))),
         }
     }
@@ -255,7 +261,12 @@ mod tests {
 
     #[test]
     fn frame_round_trip() {
-        for kind in [FrameKind::Data, FrameKind::Heartbeat, FrameKind::Bye] {
+        for kind in [
+            FrameKind::Data,
+            FrameKind::Heartbeat,
+            FrameKind::Bye,
+            FrameKind::LinkBye,
+        ] {
             let payload = b"hello frame";
             let bytes = encode_frame(kind, payload);
             let mut input = &bytes[..];

@@ -35,6 +35,7 @@ mod error;
 pub mod frame;
 mod inproc;
 mod link;
+mod mux;
 pub mod pool;
 mod reactor;
 mod remap;
@@ -49,6 +50,7 @@ pub use error::NetError;
 pub use frame::{FrameKind, FRAME_VERSION, MAX_FRAME_LEN};
 pub use inproc::InProc;
 pub use link::{LinkId, LinkRx, LinkTx, Transport};
+pub use mux::{MuxConfig, MuxTransport};
 pub use pool::BufPool;
 pub use reactor::{ReactorConfig, ReactorTransport};
 pub use remap::MappedTransport;

@@ -23,6 +23,14 @@ pub struct LinkId {
 }
 
 impl LinkId {
+    /// The unordered `(lo, hi)` pair of node labels this link connects —
+    /// the session key of the multiplexed backend: every link whose
+    /// endpoints are the same pair of peers, in either direction and under
+    /// any tag, rides one physical session.
+    pub fn peer_pair(self) -> (u32, u32) {
+        (self.from.min(self.to), self.from.max(self.to))
+    }
+
     /// Handshake encoding: 9 bytes, little-endian fields.
     pub(crate) fn to_handshake(self) -> [u8; 9] {
         let mut bytes = [0u8; 9];

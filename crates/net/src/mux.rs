@@ -1,0 +1,1886 @@
+//! Multiplexed peer sessions: one physical TCP connection per *peer pair*.
+//!
+//! The per-link backends ([`crate::TcpTransport`], [`crate::ReactorTransport`])
+//! open one socket per directed [`LinkId`] — `O(d·2^d)` sockets for a
+//! d-cube, which is exactly what makes multi-process fleets impractical and
+//! what keeps the polling reactor's first-byte latency on its idle-sleep
+//! ramp. [`MuxTransport`] collapses that to **one session per unordered
+//! peer pair**:
+//!
+//! * the session handshake exchanges a magic preamble, the peer-pair ids
+//!   and a link manifest; every subsequent Data frame carries the 9-byte
+//!   [`LinkId`] handshake encoding as a *demux tag* prefix inside the frame
+//!   payload — same single-pass framing and [`crate::pool`] buffer leases
+//!   as the per-link backends, one extra tag per frame;
+//! * all of a pair's links share one tx queue set, drained fairly
+//!   (round-robin across links) into a single `write_vectored`;
+//! * wakeups are **event-driven**, not sleep-polled: a tx doorbell
+//!   (`Condvar`) wakes the owning tx servicer the moment a sender enqueues,
+//!   and rx servicers sit in *blocking* reads with a short
+//!   `set_read_timeout` whenever they own a single session — no idle-sleep
+//!   ramp on the hot path. A servicer that owns several sessions falls back
+//!   to a nonblocking sweep with the reactor's adaptive idle ramp
+//!   ([`MuxConfig::idle_sleep_min`]/[`MuxConfig::idle_sleep_max`]), which
+//!   is the honest price of the thread cap;
+//! * heartbeats, silence dead-checks and write-retry backoff are
+//!   **per-session** obligations on the tx servicer's [`TimerWheel`] — one
+//!   timer per peer pair instead of one per directed link;
+//! * tx and rx servicer threads are bounded by [`MuxConfig::tx_servicers`]
+//!   and [`MuxConfig::rx_servicers`] regardless of session count.
+//!
+//! Failure semantics follow the session: when a session dies (silence past
+//! the heartbeat window, EOF, socket error, corrupt stream), **every** link
+//! it carried observes the same terminal error — `PeerDead` fans out to all
+//! of the pair's receivers at once, which is strictly *better* detection
+//! than per-link backends give (one observation covers all links).
+//!
+//! The wire format is NOT interoperable with the per-link backends: a mux
+//! listener expects the session preamble, and mux Data frames carry the
+//! demux tag. Both sides of a pair must speak mux.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, IoSlice, Read, Write};
+use std::marker::PhantomData;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use aoft_obs::Counter;
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use parking_lot::{Condvar, Mutex};
+
+use crate::frame::{
+    decode_frame_body, encode_frame, frame_header, FrameKind, HEADER_LEN, MAX_FRAME_LEN,
+};
+use crate::pool;
+use crate::reactor::idle_ramp_from_env;
+use crate::tcp::HANDSHAKE_TIMEOUT;
+use crate::timer::TimerWheel;
+use crate::wire::{from_bytes, Wire};
+use crate::{Backoff, CancelToken, LinkId, LinkRx, LinkTx, NetError, PollSlices, Transport};
+
+/// Session preamble magic: distinguishes a mux dial from anything else and
+/// versions the session layer (last byte).
+const MUX_MAGIC: [u8; 8] = *b"AOFTMUX\x01";
+
+/// Read timeout of a single-session rx servicer's blocking reads: the
+/// cadence at which it re-checks its dead-line and intake even when the
+/// peer is silent.
+const READ_SLICE: Duration = Duration::from_millis(5);
+
+/// `SO_SNDTIMEO` on session sockets: a write stalled longer than this
+/// parks the session on the retry path instead of freezing its (shared)
+/// tx servicer.
+const WRITE_SLICE: Duration = Duration::from_millis(100);
+
+/// Queued frames one tx drain coalesces into a single `write_vectored`.
+const MAX_TX_COALESCE: usize = 64;
+
+/// Manifest entries a session preamble may carry; larger claims are
+/// treated as a corrupt dial.
+const MAX_MANIFEST: usize = 1024;
+
+/// Reads one multi-session sweep allows a single session before yielding.
+const READS_PER_PASS: usize = 8;
+
+/// Tuning knobs for the multiplexed backend. Timing fields carry the same
+/// meaning as their [`crate::ReactorConfig`] counterparts, but apply
+/// per *session* (peer pair), not per link.
+#[derive(Debug, Clone)]
+pub struct MuxConfig {
+    /// Deadline the engine should pass when establishing links.
+    pub connect_timeout: Duration,
+    /// Idle gap after which a session emits a heartbeat frame.
+    pub heartbeat_interval: Duration,
+    /// Inbound silence after which the whole session — every link it
+    /// carries — is declared dead.
+    pub heartbeat_timeout: Duration,
+    /// Write attempts per batch before the session is declared dead.
+    pub max_send_retries: u32,
+    /// First retry delay; doubles per attempt.
+    pub initial_backoff: Duration,
+    /// Retry delay ceiling.
+    pub max_backoff: Duration,
+    /// Frames one *link* queues before `send` blocks — the per-link
+    /// backpressure bound (a session's queue capacity is this × links).
+    pub tx_queue_frames: usize,
+    /// Tx servicer threads; sessions hash onto them round-robin. The
+    /// doorbell keeps every count event-driven.
+    pub tx_servicers: usize,
+    /// Rx servicer threads. A servicer owning exactly one session uses
+    /// blocking reads (lowest latency); owning more it falls back to a
+    /// nonblocking sweep on the idle ramp below.
+    pub rx_servicers: usize,
+    /// First slice of the multi-session rx sweep's idle ramp.
+    pub idle_sleep_min: Duration,
+    /// Ceiling of that ramp.
+    pub idle_sleep_max: Duration,
+}
+
+impl Default for MuxConfig {
+    fn default() -> Self {
+        let (idle_sleep_min, idle_sleep_max) =
+            idle_ramp_from_env(Duration::from_micros(500), Duration::from_millis(2));
+        Self {
+            connect_timeout: Duration::from_secs(2),
+            heartbeat_interval: Duration::from_millis(25),
+            heartbeat_timeout: Duration::from_millis(500),
+            max_send_retries: 5,
+            initial_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(200),
+            tx_queue_frames: 1024,
+            tx_servicers: 2,
+            rx_servicers: 2,
+            idle_sleep_min,
+            idle_sleep_max,
+        }
+    }
+}
+
+type Pair = (u32, u32);
+
+fn pair_label(pair: Pair) -> String {
+    format!("{}~{}", pair.0, pair.1)
+}
+
+/// Monotonic ids for sessions and endpoint attach tokens.
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+fn next_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Session state
+// ---------------------------------------------------------------------------
+
+/// One frame staged on a session's tx side. `payload` already starts with
+/// the 9-byte demux tag for Data/LinkBye frames; `None` is a bare-header
+/// session frame (heartbeat, bye).
+struct MuxFrame {
+    header: [u8; 4 + HEADER_LEN],
+    payload: Option<pool::Lease<'static>>,
+    queued_at: Instant,
+}
+
+impl MuxFrame {
+    fn payload_bytes(&self) -> &[u8] {
+        self.payload.as_ref().map_or(&[], |lease| lease.as_slice())
+    }
+
+    fn total(&self) -> usize {
+        self.header.len() + self.payload_bytes().len()
+    }
+}
+
+struct LinkQueue {
+    frames: VecDeque<MuxFrame>,
+    /// Token of the currently attached [`MuxTx`]; a stale handle's `close`
+    /// must not close a queue that was since re-attached.
+    open_token: u64,
+    /// A `LinkBye` has been enqueued; the queue is removed once drained.
+    closed: bool,
+}
+
+struct TxInner {
+    queues: HashMap<LinkId, LinkQueue>,
+    /// Round-robin order over `queues` keys — fairness across a pair's
+    /// links when draining into one vectored write.
+    order: Vec<LinkId>,
+    rr: usize,
+    /// `true` while the session sits on its servicer's ready list (or is
+    /// being drained); senders ring the doorbell only on the
+    /// false → true edge, so an active session costs one notify per drain,
+    /// not one per frame.
+    ready: bool,
+}
+
+impl TxInner {
+    fn any_queued(&self) -> bool {
+        self.queues.values().any(|q| !q.frames.is_empty())
+    }
+}
+
+/// Where inbound frames for one link land before/after `connect_rx`.
+enum Inbox {
+    /// Frames that arrived before the receiver attached (copied out of the
+    /// stream accumulator; only the attach race pays this copy).
+    Buffering(VecDeque<Vec<u8>>),
+    /// Live typed delivery; the token identifies the attached [`MuxRx`].
+    Attached(Box<dyn MuxSink>, u64),
+}
+
+/// Type-erased delivery target, same contract as the reactor's sink.
+trait MuxSink: Send {
+    fn deliver_data(&self, payload: &[u8]) -> SinkStatus;
+    fn fail(&self, err: NetError);
+}
+
+#[derive(PartialEq)]
+enum SinkStatus {
+    Delivered,
+    Gone,
+}
+
+struct TypedMuxSink<M> {
+    events: Sender<Result<M, NetError>>,
+}
+
+impl<M: Wire + Send> MuxSink for TypedMuxSink<M> {
+    fn deliver_data(&self, payload: &[u8]) -> SinkStatus {
+        match from_bytes::<M>(payload) {
+            Ok(msg) => {
+                if self.events.send(Ok(msg)).is_ok() {
+                    SinkStatus::Delivered
+                } else {
+                    SinkStatus::Gone
+                }
+            }
+            Err(err) => {
+                let _ = self.events.send(Err(NetError::Codec(err.0)));
+                SinkStatus::Gone
+            }
+        }
+    }
+
+    fn fail(&self, err: NetError) {
+        let _ = self.events.send(Err(err));
+    }
+}
+
+/// One end of a peer-pair session: the socket, the shared tx queue set and
+/// the rx demux table. Both directions of every link between the pair ride
+/// this one connection.
+struct Session {
+    id: u64,
+    label: String,
+    /// Tx-side socket handle (the rx servicer owns its own clone of the
+    /// same underlying socket).
+    stream: TcpStream,
+    tx: Mutex<TxInner>,
+    /// Wakes senders blocked on a full per-link queue.
+    space: Condvar,
+    doorbell: Arc<TxDoorbell>,
+    dead: AtomicBool,
+    /// The first terminal error; every later observer fans out this one.
+    fate: Mutex<Option<NetError>>,
+    inboxes: Mutex<HashMap<LinkId, Inbox>>,
+    bytes_sent: Arc<Counter>,
+    bytes_received: Arc<Counter>,
+}
+
+impl Session {
+    /// Marks the session dead exactly once: records `err` as its fate,
+    /// wakes parked senders, shuts the socket down (which wakes the rx
+    /// servicer) and drops it from the session gauge. Returns `true` for
+    /// the call that performed the kill.
+    fn kill(&self, err: NetError) -> bool {
+        if self.dead.swap(true, Ordering::AcqRel) {
+            return false;
+        }
+        *self.fate.lock() = Some(err);
+        self.space.notify_all();
+        let _ = self.stream.shutdown(Shutdown::Both);
+        aoft_obs::global().mux_sessions.add(-1);
+        true
+    }
+
+    fn fate(&self) -> NetError {
+        self.fate.lock().clone().unwrap_or(NetError::Closed)
+    }
+
+    /// Delivers the session's terminal error to every attached receiver —
+    /// one session death becomes `PeerDead`/`Closed` on *every* link it
+    /// carried — and drops buffered frames for never-attached links.
+    fn fail_inboxes(&self) {
+        let err = self.fate();
+        let mut inboxes = self.inboxes.lock();
+        for (_, inbox) in inboxes.drain() {
+            if let Inbox::Attached(sink, _) = inbox {
+                sink.fail(err.clone());
+            }
+        }
+    }
+
+    /// Puts the session on its tx servicer's ready list and rings the
+    /// doorbell — the event-driven wakeup that replaces the reactor's
+    /// idle-sleep polling.
+    fn ring(self: &Arc<Self>) {
+        {
+            let mut state = self.doorbell.state.lock();
+            state.ready.push_back(Arc::clone(self));
+        }
+        self.doorbell.bell.notify_one();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint handles
+// ---------------------------------------------------------------------------
+
+struct MuxTx<M> {
+    session: Arc<Session>,
+    link: LinkId,
+    tag: [u8; 9],
+    token: u64,
+    cap: usize,
+    _marker: PhantomData<fn(M)>,
+}
+
+impl<M: Wire + Send> LinkTx<M> for MuxTx<M> {
+    fn send(&self, msg: M) -> Result<(), NetError> {
+        if self.session.dead.load(Ordering::Acquire) {
+            return Err(NetError::Closed);
+        }
+        // Single-pass framing: demux tag and message body serialize into
+        // one pooled lease; the 10-byte header travels as a separate slice
+        // of the vectored write.
+        let mut payload = pool::global().lease();
+        payload.extend_from_slice(&self.tag);
+        msg.encode(&mut payload);
+        let header = frame_header(FrameKind::Data, &payload);
+        let frame = MuxFrame {
+            header,
+            payload: Some(payload),
+            queued_at: Instant::now(),
+        };
+        let mut inner = self.session.tx.lock();
+        loop {
+            if self.session.dead.load(Ordering::Acquire) {
+                return Err(NetError::Closed);
+            }
+            let queue = inner.queues.get(&self.link).ok_or(NetError::Closed)?;
+            if queue.open_token != self.token || queue.closed {
+                // A newer handle re-attached this link, or this handle
+                // already closed it.
+                return Err(NetError::Closed);
+            }
+            if queue.frames.len() < self.cap {
+                break;
+            }
+            // Bounded wait so a dead servicer cannot strand the sender.
+            self.session
+                .space
+                .wait_for(&mut inner, Duration::from_millis(50));
+        }
+        let queue = inner.queues.get_mut(&self.link).ok_or(NetError::Closed)?;
+        queue.frames.push_back(frame);
+        let must_ring = !inner.ready;
+        inner.ready = true;
+        drop(inner);
+        if must_ring {
+            self.session.ring();
+        }
+        Ok(())
+    }
+
+    fn close(&self) {
+        self.close_link();
+    }
+}
+
+impl<M> MuxTx<M> {
+    /// Enqueues a `LinkBye` for this link (never blocks; byes bypass the
+    /// cap) and marks the queue for removal once drained. A no-op when the
+    /// link was since re-attached by a newer handle.
+    fn close_link(&self) {
+        let mut inner = self.session.tx.lock();
+        let Some(queue) = inner.queues.get_mut(&self.link) else {
+            return;
+        };
+        if queue.open_token != self.token || queue.closed {
+            return;
+        }
+        queue.closed = true;
+        if !self.session.dead.load(Ordering::Acquire) {
+            queue.frames.push_back(MuxFrame {
+                header: frame_header(FrameKind::LinkBye, &self.tag),
+                payload: Some({
+                    let mut lease = pool::global().lease();
+                    lease.extend_from_slice(&self.tag);
+                    lease
+                }),
+                queued_at: Instant::now(),
+            });
+        }
+        let must_ring = !inner.ready;
+        inner.ready = true;
+        drop(inner);
+        if must_ring {
+            self.session.ring();
+        }
+    }
+}
+
+impl<M> Drop for MuxTx<M> {
+    fn drop(&mut self) {
+        self.close_link();
+    }
+}
+
+struct MuxRx<M> {
+    session: Arc<Session>,
+    link: LinkId,
+    token: u64,
+    events: Receiver<Result<M, NetError>>,
+}
+
+impl<M: Send> LinkRx<M> for MuxRx<M> {
+    fn recv_deadline(&self, timeout: Duration, cancel: &CancelToken) -> Result<M, NetError> {
+        let deadline = Instant::now() + timeout;
+        let mut slices = PollSlices::new();
+        loop {
+            if cancel.is_cancelled() {
+                return Err(NetError::Cancelled);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(NetError::Timeout { waited: timeout });
+            }
+            let slice = slices.next_slice(deadline - now);
+            match self.events.recv_timeout(slice) {
+                Ok(Ok(msg)) => return Ok(msg),
+                Ok(Err(err)) => return Err(err),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return Err(NetError::Closed),
+            }
+        }
+    }
+}
+
+impl<M> Drop for MuxRx<M> {
+    fn drop(&mut self) {
+        // Detach so frames for a future re-attach of this link buffer
+        // fresh instead of feeding a dropped channel. Guarded by the attach
+        // token: a stale handle must not evict its successor.
+        let mut inboxes = self.session.inboxes.lock();
+        if let Some(Inbox::Attached(_, token)) = inboxes.get(&self.link) {
+            if *token == self.token {
+                inboxes.remove(&self.link);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tx servicers: doorbell-driven drains
+// ---------------------------------------------------------------------------
+
+/// The doorbell one tx servicer sleeps on: sessions to adopt plus sessions
+/// with queued frames.
+struct TxDoorbell {
+    state: Mutex<TxSvcState>,
+    bell: Condvar,
+}
+
+#[derive(Default)]
+struct TxSvcState {
+    intake: Vec<Arc<Session>>,
+    ready: VecDeque<Arc<Session>>,
+}
+
+enum TxTimerKind {
+    /// The session's idle-heartbeat obligation came due.
+    Heartbeat,
+    /// A parked retry backoff elapsed.
+    Retry,
+}
+
+/// A per-session obligation on the tx servicer's wheel — one entry per
+/// *session*, where the per-link backends schedule one per link.
+struct TxTimer {
+    id: u64,
+    kind: TxTimerKind,
+}
+
+struct TxLocal {
+    session: Arc<Session>,
+    batch: Option<TxBatch>,
+    attempts: u32,
+    backoff: Backoff,
+    blocked_until: Option<Instant>,
+    last_write: Instant,
+}
+
+struct TxBatch {
+    frames: Vec<MuxFrame>,
+    written: usize,
+}
+
+impl TxBatch {
+    fn total(&self) -> usize {
+        self.frames.iter().map(MuxFrame::total).sum()
+    }
+}
+
+/// Writes as much of `batch` as the socket accepts right now. `Ok(true)`
+/// means the batch completed; `Ok(false)` means the socket pushed back
+/// (`WouldBlock`/`SO_SNDTIMEO`) and the batch resumes later from the exact
+/// byte offset — a retried write never re-sends a byte.
+fn write_batch(stream: &TcpStream, batch: &mut TxBatch) -> io::Result<bool> {
+    let total = batch.total();
+    while batch.written < total {
+        let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(batch.frames.len() * 2);
+        let mut skip = batch.written;
+        for frame in &batch.frames {
+            for part in [&frame.header[..], frame.payload_bytes()] {
+                if skip >= part.len() {
+                    skip -= part.len();
+                } else {
+                    slices.push(IoSlice::new(&part[skip..]));
+                    skip = 0;
+                }
+            }
+        }
+        let mut writer: &TcpStream = stream;
+        match writer.write_vectored(&slices) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => batch.written += n,
+            Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(ref e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Ok(false)
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+struct TxWorker {
+    config: MuxConfig,
+    shared: Arc<TxDoorbell>,
+    shutdown: Arc<AtomicBool>,
+}
+
+enum DrainOutcome {
+    Keep,
+    Remove,
+}
+
+impl TxWorker {
+    fn run(self) {
+        let mut sessions: HashMap<u64, TxLocal> = HashMap::new();
+        let mut wheel: TimerWheel<TxTimer> = TimerWheel::new();
+        let heartbeat = self.config.heartbeat_interval.max(Duration::from_millis(1));
+        loop {
+            let (intake, ready) = {
+                let mut state = self.shared.state.lock();
+                (
+                    std::mem::take(&mut state.intake),
+                    std::mem::take(&mut state.ready),
+                )
+            };
+            let now = Instant::now();
+            for session in intake {
+                wheel.schedule(
+                    now + heartbeat,
+                    TxTimer {
+                        id: session.id,
+                        kind: TxTimerKind::Heartbeat,
+                    },
+                );
+                sessions.insert(
+                    session.id,
+                    TxLocal {
+                        session,
+                        batch: None,
+                        attempts: 0,
+                        backoff: Backoff::new(self.config.initial_backoff, self.config.max_backoff),
+                        blocked_until: None,
+                        last_write: now,
+                    },
+                );
+            }
+            for session in ready {
+                if let Some(local) = sessions.get_mut(&session.id) {
+                    if let DrainOutcome::Remove = self.drain(local, &mut wheel) {
+                        sessions.remove(&session.id);
+                    }
+                }
+            }
+            let now = Instant::now();
+            while let Some(timer) = wheel.pop_expired(now) {
+                let Some(local) = sessions.get_mut(&timer.id) else {
+                    continue; // stale: the session is gone
+                };
+                let outcome = match timer.kind {
+                    TxTimerKind::Heartbeat => {
+                        let outcome = self.fire_heartbeat(local, &mut wheel, now);
+                        if matches!(outcome, DrainOutcome::Keep) {
+                            wheel.schedule(
+                                now + heartbeat,
+                                TxTimer {
+                                    id: timer.id,
+                                    kind: TxTimerKind::Heartbeat,
+                                },
+                            );
+                        }
+                        outcome
+                    }
+                    TxTimerKind::Retry => self.drain(local, &mut wheel),
+                };
+                if let DrainOutcome::Remove = outcome {
+                    sessions.remove(&timer.id);
+                }
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                for (_, mut local) in sessions.drain() {
+                    if local.session.dead.load(Ordering::Acquire) {
+                        continue;
+                    }
+                    // Flush whatever is staged or queued (bounded), then
+                    // close orderly; the peer fans out Closed per link.
+                    let flush_deadline = Instant::now() + Duration::from_secs(1);
+                    loop {
+                        if local.batch.is_none() {
+                            match pop_batch(&local.session, Instant::now()) {
+                                Some(batch) => local.batch = Some(batch),
+                                None => break,
+                            }
+                        }
+                        let batch = local.batch.as_mut().expect("batch staged above");
+                        match write_batch(&local.session.stream, batch) {
+                            Ok(true) => local.batch = None,
+                            Ok(false) => {
+                                if Instant::now() >= flush_deadline {
+                                    break;
+                                }
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    let mut writer: &TcpStream = &local.session.stream;
+                    let _ = writer.write_all(&encode_frame(FrameKind::Bye, &[]));
+                    let _ = local.session.stream.shutdown(Shutdown::Both);
+                }
+                return;
+            }
+            // Sleep on the bell, bounded by the earliest obligation. The
+            // doorbell ends the wait immediately on any local enqueue.
+            let mut state = self.shared.state.lock();
+            if !state.intake.is_empty() || !state.ready.is_empty() {
+                continue;
+            }
+            let timeout = wheel
+                .next_deadline()
+                .map(|d| d.saturating_duration_since(Instant::now()))
+                .unwrap_or(Duration::from_millis(100))
+                .clamp(Duration::from_millis(1), Duration::from_millis(100));
+            self.shared.bell.wait_for(&mut state, timeout);
+        }
+    }
+
+    /// Emits an idle heartbeat: only when the session has nothing staged
+    /// (a busy session's data *is* its liveness signal).
+    fn fire_heartbeat(
+        &self,
+        local: &mut TxLocal,
+        wheel: &mut TimerWheel<TxTimer>,
+        now: Instant,
+    ) -> DrainOutcome {
+        if local.session.dead.load(Ordering::Acquire) {
+            return DrainOutcome::Remove;
+        }
+        if local.batch.is_some()
+            || local.blocked_until.is_some()
+            || now.saturating_duration_since(local.last_write) < self.config.heartbeat_interval
+        {
+            return DrainOutcome::Keep;
+        }
+        if local.session.tx.lock().any_queued() {
+            return DrainOutcome::Keep;
+        }
+        local.batch = Some(TxBatch {
+            frames: vec![MuxFrame {
+                header: frame_header(FrameKind::Heartbeat, &[]),
+                payload: None,
+                queued_at: now,
+            }],
+            written: 0,
+        });
+        self.drain(local, wheel)
+    }
+
+    /// Drives one session: builds a batch from its link queues (fair
+    /// round-robin) if none is in flight, then writes it, parking on the
+    /// wheel for backoff when the socket pushes back.
+    fn drain(&self, local: &mut TxLocal, wheel: &mut TimerWheel<TxTimer>) -> DrainOutcome {
+        let reg = aoft_obs::global();
+        if local.session.dead.load(Ordering::Acquire) {
+            return DrainOutcome::Remove;
+        }
+        let now = Instant::now();
+        if let Some(until) = local.blocked_until {
+            if now < until {
+                return DrainOutcome::Keep; // the Retry timer re-enters
+            }
+            local.blocked_until = None;
+        }
+        if local.batch.is_none() {
+            match pop_batch(&local.session, now) {
+                Some(batch) => local.batch = Some(batch),
+                None => return DrainOutcome::Keep, // spurious ring
+            }
+        }
+        let done = {
+            let batch = local.batch.as_mut().expect("batch staged above");
+            match write_batch(&local.session.stream, batch) {
+                Ok(done) => done,
+                Err(err) => {
+                    local.attempts += 1;
+                    reg.net_send_retries.add(&local.session.label, 1);
+                    if local.attempts > self.config.max_send_retries {
+                        local.session.kill(NetError::Io(format!(
+                            "session {} write failed after {} attempts: {err}",
+                            local.session.label, local.attempts
+                        )));
+                        return DrainOutcome::Remove;
+                    }
+                    let until = now + local.backoff.next_delay();
+                    local.blocked_until = Some(until);
+                    wheel.schedule(
+                        until,
+                        TxTimer {
+                            id: local.session.id,
+                            kind: TxTimerKind::Retry,
+                        },
+                    );
+                    return DrainOutcome::Keep;
+                }
+            }
+        };
+        if !done {
+            // Socket pushed back mid-batch: resume shortly; not a failure.
+            let until = now + Duration::from_millis(1);
+            local.blocked_until = Some(until);
+            wheel.schedule(
+                until,
+                TxTimer {
+                    id: local.session.id,
+                    kind: TxTimerKind::Retry,
+                },
+            );
+            return DrainOutcome::Keep;
+        }
+        let batch = local.batch.take().expect("batch staged above");
+        local.session.bytes_sent.add(batch.total() as u64);
+        local.attempts = 0;
+        local.backoff.reset();
+        local.last_write = Instant::now();
+        // More frames may have queued while writing; keep the session on
+        // the ready list so siblings get their turn between drains.
+        let mut inner = local.session.tx.lock();
+        if inner.any_queued() {
+            inner.ready = true;
+            drop(inner);
+            local.session.ring();
+        } else {
+            inner.ready = false;
+        }
+        DrainOutcome::Keep
+    }
+}
+
+/// Pops up to [`MAX_TX_COALESCE`] frames off a session's link queues, one
+/// frame per link per cycle starting at the rotating cursor — the fair
+/// round-robin drain that feeds a single `write_vectored`.
+fn pop_batch(session: &Session, now: Instant) -> Option<TxBatch> {
+    let reg = aoft_obs::global();
+    let mut guard = session.tx.lock();
+    let inner = &mut *guard;
+    let mut frames: Vec<MuxFrame> = Vec::new();
+    if !inner.order.is_empty() {
+        inner.rr = (inner.rr + 1) % inner.order.len();
+        let n = inner.order.len();
+        let start = inner.rr;
+        'outer: loop {
+            let mut popped = false;
+            for i in 0..n {
+                let link = inner.order[(start + i) % n];
+                if let Some(queue) = inner.queues.get_mut(&link) {
+                    if let Some(frame) = queue.frames.pop_front() {
+                        frames.push(frame);
+                        popped = true;
+                        if frames.len() >= MAX_TX_COALESCE {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            if !popped {
+                break;
+            }
+        }
+    }
+    // Fully-drained closed links leave the queue set: their LinkBye is in
+    // the batch (or already on the wire), so the slot is free for a future
+    // re-attach of the same link.
+    let queues = &mut inner.queues;
+    inner.order.retain(|link| match queues.get(link) {
+        Some(queue) => !(queue.closed && queue.frames.is_empty()),
+        None => false,
+    });
+    queues.retain(|_, queue| !(queue.closed && queue.frames.is_empty()));
+    if frames.is_empty() {
+        inner.ready = false;
+        return None;
+    }
+    // Stay marked ready while the batch is in flight: the post-write check
+    // in `drain` settles the flag, and senders skip redundant rings.
+    inner.ready = true;
+    drop(guard);
+    // Senders parked on a full queue may proceed.
+    session.space.notify_all();
+    reg.mux_frames_per_write.record_count(frames.len() as u64);
+    // Doorbell-to-drain latency: the age of the oldest frame in the batch.
+    let oldest = frames
+        .iter()
+        .map(|f| now.saturating_duration_since(f.queued_at))
+        .max()
+        .unwrap_or(Duration::ZERO);
+    reg.mux_wake_latency
+        .record_micros(oldest.as_micros().min(u128::from(u64::MAX)) as u64);
+    Some(TxBatch { frames, written: 0 })
+}
+
+// ---------------------------------------------------------------------------
+// Rx servicers: blocking reads, session demux, failure detection
+// ---------------------------------------------------------------------------
+
+struct RxAssign {
+    session: Arc<Session>,
+}
+
+struct RxLocal {
+    session: Arc<Session>,
+    acc: Vec<u8>,
+    last_seen: Instant,
+    misses_reported: u64,
+}
+
+enum RxPump {
+    Progress,
+    Idle,
+    Retire(NetError),
+}
+
+struct RxWorker {
+    config: MuxConfig,
+    intake: Receiver<RxAssign>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl RxWorker {
+    fn run(self) {
+        let mut sessions: Vec<RxLocal> = Vec::new();
+        let mut scratch = vec![0u8; 64 * 1024];
+        let mut idle_sleep = self.config.idle_sleep_min;
+        // The socket mode currently applied to every owned session:
+        // blocking short-timeout reads while owning exactly one session,
+        // a nonblocking sweep otherwise.
+        let mut applied_single: Option<bool> = None;
+        loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let mut admitted = false;
+            loop {
+                match self.intake.try_recv() {
+                    Ok(assign) => {
+                        sessions.push(self.admit(assign));
+                        admitted = true;
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        if sessions.is_empty() {
+                            return;
+                        }
+                        break;
+                    }
+                }
+            }
+            if sessions.is_empty() {
+                match self.intake.recv_timeout(Duration::from_millis(50)) {
+                    Ok(assign) => {
+                        sessions.push(self.admit(assign));
+                    }
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+                admitted = true;
+            }
+            let single = sessions.len() == 1;
+            if admitted || applied_single != Some(single) {
+                applied_single = Some(single);
+                for local in &sessions {
+                    set_socket_mode(&local.session.stream, single);
+                }
+            }
+            let mut progress = false;
+            let mut retired: Option<usize> = None;
+            for (idx, local) in sessions.iter_mut().enumerate() {
+                match self.pump(local, &mut scratch, single) {
+                    RxPump::Progress => progress = true,
+                    RxPump::Idle => {}
+                    RxPump::Retire(err) => {
+                        local.session.kill(err);
+                        local.session.fail_inboxes();
+                        retired = Some(idx);
+                        progress = true;
+                        break;
+                    }
+                }
+            }
+            if let Some(idx) = retired {
+                sessions.remove(idx);
+            }
+            if single || progress {
+                idle_sleep = self.config.idle_sleep_min;
+            } else {
+                // Multi-session sweep made no progress: the reactor's
+                // adaptive ramp bounds the idle burn.
+                std::thread::sleep(idle_sleep);
+                idle_sleep = (idle_sleep * 2).min(self.config.idle_sleep_max);
+            }
+        }
+    }
+
+    fn admit(&self, assign: RxAssign) -> RxLocal {
+        RxLocal {
+            session: assign.session,
+            acc: Vec::new(),
+            last_seen: Instant::now(),
+            misses_reported: 0,
+        }
+    }
+
+    /// One service pass over a session: reads (blocking with a short
+    /// timeout when `single`, nonblocking otherwise), demuxes complete
+    /// frames, and runs the per-session silence dead-check.
+    fn pump(&self, local: &mut RxLocal, scratch: &mut [u8], single: bool) -> RxPump {
+        if local.session.dead.load(Ordering::Acquire) {
+            return RxPump::Retire(local.session.fate());
+        }
+        let mut made_progress = false;
+        let reads = if single { 1 } else { READS_PER_PASS };
+        for _ in 0..reads {
+            let mut reader: &TcpStream = &local.session.stream;
+            match reader.read(scratch) {
+                Ok(0) => return RxPump::Retire(NetError::Closed),
+                Ok(n) => {
+                    made_progress = true;
+                    local.last_seen = Instant::now();
+                    local.misses_reported = 0;
+                    local.session.bytes_received.add(n as u64);
+                    local.acc.extend_from_slice(&scratch[..n]);
+                    match drain_session_frames(&local.session, &mut local.acc) {
+                        FrameDrain::Continue => {}
+                        FrameDrain::SessionBye => return RxPump::Retire(NetError::Closed),
+                        FrameDrain::Corrupt(detail) => {
+                            return RxPump::Retire(NetError::Codec(detail))
+                        }
+                    }
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(ref e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    break;
+                }
+                Err(e) => return RxPump::Retire(NetError::Io(e.to_string())),
+            }
+        }
+        if !made_progress {
+            // Per-session failure detection: one silence clock covers every
+            // link the session carries.
+            let silent = Instant::now().saturating_duration_since(local.last_seen);
+            if silent > self.config.heartbeat_timeout {
+                aoft_obs::global()
+                    .net_peer_dead
+                    .add(&local.session.label, 1);
+                return RxPump::Retire(NetError::PeerDead { silent_for: silent });
+            }
+            let interval = self.config.heartbeat_interval.max(Duration::from_millis(1));
+            let misses = (silent.as_micros() / interval.as_micros().max(1)) as u64;
+            if misses > local.misses_reported {
+                aoft_obs::global()
+                    .net_heartbeat_misses
+                    .add(&local.session.label, misses - local.misses_reported);
+                local.misses_reported = misses;
+            }
+            return RxPump::Idle;
+        }
+        RxPump::Progress
+    }
+}
+
+fn set_socket_mode(stream: &TcpStream, blocking: bool) {
+    if blocking {
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_read_timeout(Some(READ_SLICE));
+    } else {
+        let _ = stream.set_nonblocking(true);
+    }
+}
+
+enum FrameDrain {
+    Continue,
+    SessionBye,
+    Corrupt(String),
+}
+
+/// Decodes and demuxes every complete frame in `acc`, leaving any trailing
+/// partial frame in place. Data and LinkBye frames route by their 9-byte
+/// demux tag; Heartbeat refreshes liveness implicitly (any bytes do); Bye
+/// ends the whole session.
+fn drain_session_frames(session: &Session, acc: &mut Vec<u8>) -> FrameDrain {
+    let mut consumed = 0;
+    let outcome = loop {
+        let rest = &acc[consumed..];
+        if rest.len() < 4 {
+            break FrameDrain::Continue;
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+        if !(HEADER_LEN..=MAX_FRAME_LEN).contains(&len) {
+            break FrameDrain::Corrupt(format!("frame length {len} out of range"));
+        }
+        if rest.len() < 4 + len {
+            break FrameDrain::Continue;
+        }
+        match decode_frame_body(&rest[4..4 + len]) {
+            Ok((FrameKind::Data, payload)) => {
+                let Some(tag) = demux_tag(payload) else {
+                    break FrameDrain::Corrupt("data frame shorter than its demux tag".into());
+                };
+                deliver(session, tag, &payload[9..]);
+            }
+            Ok((FrameKind::LinkBye, payload)) => {
+                let Some(tag) = demux_tag(payload) else {
+                    break FrameDrain::Corrupt("link bye shorter than its demux tag".into());
+                };
+                close_inbox(session, tag);
+            }
+            Ok((FrameKind::Heartbeat, _)) => {}
+            Ok((FrameKind::Bye, _)) => break FrameDrain::SessionBye,
+            Err(err) => break FrameDrain::Corrupt(err.0),
+        }
+        consumed += 4 + len;
+    };
+    acc.drain(..consumed);
+    outcome
+}
+
+fn demux_tag(payload: &[u8]) -> Option<LinkId> {
+    if payload.len() < 9 {
+        return None;
+    }
+    let mut tag = [0u8; 9];
+    tag.copy_from_slice(&payload[..9]);
+    Some(LinkId::from_handshake(tag))
+}
+
+fn deliver(session: &Session, link: LinkId, bytes: &[u8]) {
+    let mut inboxes = session.inboxes.lock();
+    match inboxes.get_mut(&link) {
+        Some(Inbox::Attached(sink, _)) => {
+            if sink.deliver_data(bytes) == SinkStatus::Gone {
+                inboxes.remove(&link);
+            }
+        }
+        Some(Inbox::Buffering(queue)) => queue.push_back(bytes.to_vec()),
+        None => {
+            // Receiver not attached yet (the connect_rx race): buffer the
+            // raw payload; the attach drains it in order.
+            let mut queue = VecDeque::new();
+            queue.push_back(bytes.to_vec());
+            inboxes.insert(link, Inbox::Buffering(queue));
+        }
+    }
+}
+
+fn close_inbox(session: &Session, link: LinkId) {
+    let mut inboxes = session.inboxes.lock();
+    match inboxes.remove(&link) {
+        Some(Inbox::Attached(sink, _)) => sink.fail(NetError::Closed),
+        // Buffered-but-never-claimed frames drop with the link, exactly as
+        // a per-link socket closed before its connect_rx claim would.
+        Some(Inbox::Buffering(_)) | None => {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The transport: session establishment and link attachment
+// ---------------------------------------------------------------------------
+
+/// State the acceptor and servicer threads share with the transport handle.
+struct MuxShared {
+    config: MuxConfig,
+    accepted: Mutex<HashMap<Pair, Arc<Session>>>,
+    accepted_cv: Condvar,
+    tx_pool: Vec<Arc<TxDoorbell>>,
+    rx_pool: Vec<Sender<RxAssign>>,
+    next_assign: AtomicUsize,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl MuxShared {
+    /// Wraps an established socket as a live session: registers it with a
+    /// tx doorbell and an rx servicer (both round-robin) and counts it on
+    /// the session gauge.
+    fn create_session(&self, pair: Pair, stream: TcpStream) -> Result<Arc<Session>, NetError> {
+        // Tx and rx servicers share this one fd (`read`/`write` through
+        // `&TcpStream` are independently safe): one fd per session end is
+        // exactly the resource claim the fd-count tests assert.
+        stream.set_nodelay(true)?;
+        stream.set_write_timeout(Some(WRITE_SLICE))?;
+        let label = pair_label(pair);
+        let reg = aoft_obs::global();
+        let idx = self.next_assign.fetch_add(1, Ordering::Relaxed);
+        let doorbell = Arc::clone(&self.tx_pool[idx % self.tx_pool.len()]);
+        let session = Arc::new(Session {
+            id: next_id(),
+            label: label.clone(),
+            stream,
+            tx: Mutex::new(TxInner {
+                queues: HashMap::new(),
+                order: Vec::new(),
+                rr: 0,
+                ready: false,
+            }),
+            space: Condvar::new(),
+            doorbell,
+            dead: AtomicBool::new(false),
+            fate: Mutex::new(None),
+            inboxes: Mutex::new(HashMap::new()),
+            bytes_sent: reg.mux_bytes_sent.with_label(&label),
+            bytes_received: reg.mux_bytes_received.with_label(&label),
+        });
+        reg.mux_sessions.add(1);
+        {
+            let mut state = session.doorbell.state.lock();
+            state.intake.push(Arc::clone(&session));
+        }
+        session.doorbell.bell.notify_one();
+        self.rx_pool[idx % self.rx_pool.len()]
+            .send(RxAssign {
+                session: Arc::clone(&session),
+            })
+            .map_err(|_| NetError::Closed)?;
+        Ok(session)
+    }
+}
+
+/// Dialer → acceptor session preamble: magic, peer pair, dialer label and
+/// an informational link manifest.
+fn write_preamble(
+    stream: &TcpStream,
+    pair: Pair,
+    dialer: u32,
+    manifest: &[LinkId],
+) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(22 + manifest.len() * 9);
+    buf.extend_from_slice(&MUX_MAGIC);
+    buf.extend_from_slice(&pair.0.to_le_bytes());
+    buf.extend_from_slice(&pair.1.to_le_bytes());
+    buf.extend_from_slice(&dialer.to_le_bytes());
+    buf.extend_from_slice(&(manifest.len().min(MAX_MANIFEST) as u16).to_le_bytes());
+    for link in manifest.iter().take(MAX_MANIFEST) {
+        buf.extend_from_slice(&link.to_handshake());
+    }
+    let mut writer: &TcpStream = stream;
+    writer.write_all(&buf)
+}
+
+fn read_preamble(stream: &TcpStream) -> Result<Pair, NetError> {
+    stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+    let mut head = [0u8; 22];
+    (&mut &*stream).read_exact(&mut head)?;
+    if head[..8] != MUX_MAGIC {
+        return Err(NetError::Codec("bad mux session magic".into()));
+    }
+    let lo = u32::from_le_bytes(head[8..12].try_into().expect("4 bytes"));
+    let hi = u32::from_le_bytes(head[12..16].try_into().expect("4 bytes"));
+    if lo > hi {
+        return Err(NetError::Codec(format!(
+            "mux preamble pair out of order: ({lo}, {hi})"
+        )));
+    }
+    let count = u16::from_le_bytes(head[20..22].try_into().expect("2 bytes")) as usize;
+    if count > MAX_MANIFEST {
+        return Err(NetError::Codec(format!(
+            "mux manifest claims {count} links (max {MAX_MANIFEST})"
+        )));
+    }
+    // The manifest is informational (the trigger link plus whatever the
+    // dialer chose to announce); consume and discard it.
+    let mut entry = [0u8; 9];
+    for _ in 0..count {
+        (&mut &*stream).read_exact(&mut entry)?;
+    }
+    stream.set_read_timeout(None)?;
+    Ok((lo, hi))
+}
+
+fn acceptor_loop(listener: TcpListener, shared: Arc<MuxShared>) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(stream) = conn else { continue };
+        // A corrupt or foreign dial just loses its socket; it must not
+        // take the acceptor down.
+        let Ok(pair) = read_preamble(&stream) else {
+            continue;
+        };
+        let Ok(session) = shared.create_session(pair, stream) else {
+            continue;
+        };
+        let mut map = shared.accepted.lock();
+        if let Some(old) = map.insert(pair, Arc::clone(&session)) {
+            // A re-dial for a pair replaces its (dead or stale)
+            // predecessor; whoever still held it observes Closed.
+            old.kill(NetError::Closed);
+            old.fail_inboxes();
+        }
+        drop(map);
+        shared.accepted_cv.notify_all();
+    }
+}
+
+enum DialSlot {
+    /// Some caller is mid-dial; wait on the condvar.
+    Dialing,
+    Ready(Arc<Session>),
+}
+
+/// A socket transport that multiplexes every link of a peer pair over one
+/// physical TCP session.
+///
+/// Socket count is `O(peer pairs)` instead of `O(directed links)`; servicer
+/// threads are bounded by [`MuxConfig::tx_servicers`] +
+/// [`MuxConfig::rx_servicers`] + 1 (the acceptor) regardless of session
+/// count. Same [`Transport`] contract and `set_peer` routing as the other
+/// socket backends, but the wire format is mux-specific (see the module
+/// docs) — both sides of a pair must use `MuxTransport`.
+///
+/// Session establishment is deterministic: for any pair `(lo, hi)` the
+/// endpoint acting as `lo` dials `hi`'s listener; the endpoint acting as
+/// `hi` waits for the inbound session. On a single transport (loopback
+/// cluster) both roles coexist, so each pair holds exactly two session
+/// ends over one TCP connection.
+pub struct MuxTransport {
+    shared: Arc<MuxShared>,
+    listener_addr: SocketAddr,
+    peers: Mutex<HashMap<u32, SocketAddr>>,
+    dial: Mutex<HashMap<Pair, DialSlot>>,
+    dial_cv: Condvar,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl MuxTransport {
+    /// Binds a listener on an ephemeral loopback port and starts the
+    /// servicer pools (`tx_servicers` + `rx_servicers` + 1 acceptor
+    /// threads, total, independent of session count).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] if the listener cannot bind or a servicer thread
+    /// cannot spawn.
+    pub fn bind(config: MuxConfig) -> Result<Self, NetError> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let listener_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+        let mut tx_pool = Vec::new();
+        for idx in 0..config.tx_servicers.max(1) {
+            let doorbell = Arc::new(TxDoorbell {
+                state: Mutex::new(TxSvcState::default()),
+                bell: Condvar::new(),
+            });
+            tx_pool.push(Arc::clone(&doorbell));
+            let worker = TxWorker {
+                config: config.clone(),
+                shared: doorbell,
+                shutdown: Arc::clone(&shutdown),
+            };
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("aoft-mux-tx-{idx}"))
+                    .spawn(move || worker.run())
+                    .map_err(|e| NetError::Io(format!("spawn mux tx servicer {idx}: {e}")))?,
+            );
+        }
+        let mut rx_pool = Vec::new();
+        for idx in 0..config.rx_servicers.max(1) {
+            let (assign_tx, assign_rx) = unbounded::<RxAssign>();
+            rx_pool.push(assign_tx);
+            let worker = RxWorker {
+                config: config.clone(),
+                intake: assign_rx,
+                shutdown: Arc::clone(&shutdown),
+            };
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("aoft-mux-rx-{idx}"))
+                    .spawn(move || worker.run())
+                    .map_err(|e| NetError::Io(format!("spawn mux rx servicer {idx}: {e}")))?,
+            );
+        }
+        let shared = Arc::new(MuxShared {
+            config,
+            accepted: Mutex::new(HashMap::new()),
+            accepted_cv: Condvar::new(),
+            tx_pool,
+            rx_pool,
+            next_assign: AtomicUsize::new(0),
+            shutdown,
+        });
+        let acceptor_shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("aoft-mux-accept".into())
+                .spawn(move || acceptor_loop(listener, acceptor_shared))
+                .map_err(|e| NetError::Io(format!("spawn mux acceptor: {e}")))?,
+        );
+        Ok(Self {
+            shared,
+            listener_addr,
+            peers: Mutex::new(HashMap::new()),
+            dial: Mutex::new(HashMap::new()),
+            dial_cv: Condvar::new(),
+            threads,
+        })
+    }
+
+    /// The address peers dial to reach this transport's sessions.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener_addr
+    }
+
+    /// Routes future dials toward node `label` to `addr` instead of this
+    /// transport's own listener (multi-process clusters).
+    pub fn set_peer(&self, label: u32, addr: SocketAddr) {
+        self.peers.lock().insert(label, addr);
+    }
+
+    /// Live session *ends* held by this transport (dialed + accepted).
+    /// A loopback cluster holds two ends per peer pair; a multi-process
+    /// cluster holds one end per remote pair.
+    pub fn session_count(&self) -> usize {
+        let dialed = self
+            .dial
+            .lock()
+            .values()
+            .filter(|slot| matches!(slot, DialSlot::Ready(s) if !s.dead.load(Ordering::Acquire)))
+            .count();
+        let accepted = self
+            .shared
+            .accepted
+            .lock()
+            .values()
+            .filter(|s| !s.dead.load(Ordering::Acquire))
+            .count();
+        dialed + accepted
+    }
+
+    fn addr_of(&self, label: u32) -> SocketAddr {
+        self.peers
+            .lock()
+            .get(&label)
+            .copied()
+            .unwrap_or(self.listener_addr)
+    }
+
+    /// Resolves the session carrying `link` for the local endpoint
+    /// (`local_is_from` says which end of the link we are): the `lo` side
+    /// of the pair dials, the `hi` side waits for the inbound session.
+    fn session_for(
+        &self,
+        link: LinkId,
+        deadline: Duration,
+        local_is_from: bool,
+    ) -> Result<Arc<Session>, NetError> {
+        if link.from == link.to {
+            return Err(NetError::Io(format!(
+                "mux transport does not support self-links ({link})"
+            )));
+        }
+        let pair = link.peer_pair();
+        let local = if local_is_from { link.from } else { link.to };
+        if local == pair.0 {
+            self.dial_session(pair, local, link, deadline)
+        } else {
+            self.wait_accepted(pair, deadline)
+        }
+    }
+
+    fn dial_session(
+        &self,
+        pair: Pair,
+        dialer: u32,
+        trigger: LinkId,
+        deadline: Duration,
+    ) -> Result<Arc<Session>, NetError> {
+        let deadline_at = Instant::now() + deadline;
+        {
+            let mut map = self.dial.lock();
+            loop {
+                let stale = match map.get(&pair) {
+                    Some(DialSlot::Ready(session)) => {
+                        if !session.dead.load(Ordering::Acquire) {
+                            return Ok(Arc::clone(session));
+                        }
+                        true
+                    }
+                    Some(DialSlot::Dialing) => {
+                        let now = Instant::now();
+                        if now >= deadline_at {
+                            return Err(NetError::Timeout { waited: deadline });
+                        }
+                        let _ = self
+                            .dial_cv
+                            .wait_for(&mut map, (deadline_at - now).min(Duration::from_millis(50)));
+                        continue;
+                    }
+                    None => {
+                        map.insert(pair, DialSlot::Dialing);
+                        break;
+                    }
+                };
+                if stale {
+                    map.remove(&pair);
+                }
+            }
+        }
+        // This caller owns the dial; everyone else waits on the slot.
+        let result = self.establish(pair, dialer, trigger, deadline_at);
+        let mut map = self.dial.lock();
+        match result {
+            Ok(session) => {
+                map.insert(pair, DialSlot::Ready(Arc::clone(&session)));
+                drop(map);
+                self.dial_cv.notify_all();
+                Ok(session)
+            }
+            Err(err) => {
+                map.remove(&pair);
+                drop(map);
+                self.dial_cv.notify_all();
+                Err(err)
+            }
+        }
+    }
+
+    fn establish(
+        &self,
+        pair: Pair,
+        dialer: u32,
+        trigger: LinkId,
+        deadline_at: Instant,
+    ) -> Result<Arc<Session>, NetError> {
+        let remote = if dialer == pair.0 { pair.1 } else { pair.0 };
+        let addr = self.addr_of(remote);
+        let mut delay = Duration::from_millis(5);
+        let stream = loop {
+            let now = Instant::now();
+            if now >= deadline_at {
+                return Err(NetError::Timeout {
+                    waited: Duration::ZERO,
+                });
+            }
+            let budget = (deadline_at - now).min(self.shared.config.connect_timeout);
+            match TcpStream::connect_timeout(&addr, budget) {
+                Ok(stream) => break stream,
+                Err(_) => {
+                    // The peer's listener may not be up yet (process
+                    // startup races); back off and re-dial until the
+                    // engine's deadline.
+                    std::thread::sleep(
+                        delay.min(deadline_at.saturating_duration_since(Instant::now())),
+                    );
+                    delay = (delay * 2).min(Duration::from_millis(100));
+                }
+            }
+        };
+        write_preamble(&stream, pair, dialer, &[trigger])?;
+        self.shared.create_session(pair, stream)
+    }
+
+    fn wait_accepted(&self, pair: Pair, deadline: Duration) -> Result<Arc<Session>, NetError> {
+        let deadline_at = Instant::now() + deadline;
+        let mut map = self.shared.accepted.lock();
+        loop {
+            let stale = match map.get(&pair) {
+                Some(session) => {
+                    if !session.dead.load(Ordering::Acquire) {
+                        return Ok(Arc::clone(session));
+                    }
+                    true
+                }
+                None => false,
+            };
+            if stale {
+                map.remove(&pair);
+            }
+            let now = Instant::now();
+            if now >= deadline_at {
+                return Err(NetError::Timeout { waited: deadline });
+            }
+            let _ = self
+                .shared
+                .accepted_cv
+                .wait_for(&mut map, (deadline_at - now).min(Duration::from_millis(50)));
+        }
+    }
+}
+
+impl<M: Wire + Send + 'static> Transport<M> for MuxTransport {
+    fn connect_tx(&self, link: LinkId, deadline: Duration) -> Result<Box<dyn LinkTx<M>>, NetError> {
+        let session = self.session_for(link, deadline, true)?;
+        let token = next_id();
+        {
+            let mut inner = session.tx.lock();
+            if !inner.queues.contains_key(&link) {
+                inner.order.push(link);
+            }
+            // A re-attach replaces the previous attempt's queue outright —
+            // stale undelivered frames belong to the failed attempt.
+            inner.queues.insert(
+                link,
+                LinkQueue {
+                    frames: VecDeque::new(),
+                    open_token: token,
+                    closed: false,
+                },
+            );
+        }
+        if session.dead.load(Ordering::Acquire) {
+            return Err(session.fate());
+        }
+        Ok(Box::new(MuxTx {
+            session,
+            link,
+            tag: link.to_handshake(),
+            token,
+            cap: self.shared.config.tx_queue_frames,
+            _marker: PhantomData,
+        }))
+    }
+
+    fn connect_rx(&self, link: LinkId, deadline: Duration) -> Result<Box<dyn LinkRx<M>>, NetError> {
+        let session = self.session_for(link, deadline, false)?;
+        let (events_tx, events_rx) = unbounded::<Result<M, NetError>>();
+        let token = next_id();
+        let sink = TypedMuxSink::<M> { events: events_tx };
+        {
+            let mut inboxes = session.inboxes.lock();
+            match inboxes.remove(&link) {
+                Some(Inbox::Buffering(mut queue)) => {
+                    // Frames that raced ahead of this attach flow through
+                    // the new sink in arrival order.
+                    let mut gone = false;
+                    while let Some(bytes) = queue.pop_front() {
+                        if sink.deliver_data(&bytes) == SinkStatus::Gone {
+                            gone = true;
+                            break;
+                        }
+                    }
+                    if !gone {
+                        inboxes.insert(link, Inbox::Attached(Box::new(sink), token));
+                    }
+                }
+                Some(Inbox::Attached(old_sink, _)) => {
+                    // A newer claim evicts the previous receiver (a failed
+                    // attempt's endpoint the engine is replacing).
+                    old_sink.fail(NetError::Closed);
+                    inboxes.insert(link, Inbox::Attached(Box::new(sink), token));
+                }
+                None => {
+                    inboxes.insert(link, Inbox::Attached(Box::new(sink), token));
+                }
+            }
+        }
+        if session.dead.load(Ordering::Acquire) {
+            // Raced with the session's death after the rx servicer's
+            // inbox fan-out: fail our own sink so the receiver observes
+            // the session's fate instead of a silent timeout.
+            let err = session.fate();
+            let mut inboxes = session.inboxes.lock();
+            if let Some(Inbox::Attached(sink, t)) = inboxes.remove(&link) {
+                if t == token {
+                    sink.fail(err);
+                } else {
+                    inboxes.insert(link, Inbox::Attached(sink, t));
+                }
+            }
+        }
+        Ok(Box::new(MuxRx {
+            session,
+            link,
+            token,
+            events: events_rx,
+        }))
+    }
+}
+
+impl Drop for MuxTransport {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        for doorbell in &self.shared.tx_pool {
+            doorbell.bell.notify_all();
+        }
+        // The acceptor sits in blocking accept; a throwaway connection
+        // makes it re-check the shutdown flag.
+        let _ = TcpStream::connect(self.listener_addr);
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+        // Account every surviving session off the gauge and fail any
+        // receiver still attached.
+        let mut accepted = self.shared.accepted.lock();
+        for (_, session) in accepted.drain() {
+            session.kill(NetError::Closed);
+            session.fail_inboxes();
+        }
+        drop(accepted);
+        for (_, slot) in self.dial.lock().drain() {
+            if let DialSlot::Ready(session) = slot {
+                session.kill(NetError::Closed);
+                session.fail_inboxes();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(from: u32, to: u32, tag: u8) -> LinkId {
+        LinkId { from, to, tag }
+    }
+
+    fn fast_config() -> MuxConfig {
+        MuxConfig {
+            connect_timeout: Duration::from_secs(2),
+            heartbeat_interval: Duration::from_millis(10),
+            heartbeat_timeout: Duration::from_millis(250),
+            ..MuxConfig::default()
+        }
+    }
+
+    #[test]
+    fn round_trip_over_one_session() {
+        let transport = MuxTransport::bind(fast_config()).unwrap();
+        let cancel = CancelToken::new();
+        let deadline = Duration::from_secs(5);
+        // Three links between the same pair, both directions, mixed tags:
+        // all must ride one connection (two session ends on loopback).
+        let links = [link(1, 2, 0), link(2, 1, 0), link(1, 2, 7)];
+        let mut txs = Vec::new();
+        let mut rxs = Vec::new();
+        for l in links {
+            txs.push(Transport::<u64>::connect_tx(&transport, l, deadline).unwrap());
+            rxs.push(Transport::<u64>::connect_rx(&transport, l, deadline).unwrap());
+        }
+        assert_eq!(transport.session_count(), 2, "one pair = two loopback ends");
+        for round in 0..50u64 {
+            for (i, tx) in txs.iter().enumerate() {
+                tx.send(round * 10 + i as u64).unwrap();
+            }
+            for (i, rx) in rxs.iter().enumerate() {
+                let got = rx.recv_deadline(Duration::from_secs(5), &cancel).unwrap();
+                assert_eq!(
+                    got,
+                    round * 10 + i as u64,
+                    "link {} round {round}",
+                    links[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_link_fifo_under_interleave() {
+        let transport = MuxTransport::bind(fast_config()).unwrap();
+        let cancel = CancelToken::new();
+        let deadline = Duration::from_secs(5);
+        let a = link(3, 4, 0);
+        let b = link(3, 4, 1);
+        let tx_a = Transport::<u64>::connect_tx(&transport, a, deadline).unwrap();
+        let tx_b = Transport::<u64>::connect_tx(&transport, b, deadline).unwrap();
+        let rx_a = Transport::<u64>::connect_rx(&transport, a, deadline).unwrap();
+        let rx_b = Transport::<u64>::connect_rx(&transport, b, deadline).unwrap();
+        for i in 0..200u64 {
+            tx_a.send(i).unwrap();
+            tx_b.send(1000 + i).unwrap();
+        }
+        for i in 0..200u64 {
+            assert_eq!(
+                rx_a.recv_deadline(Duration::from_secs(5), &cancel).unwrap(),
+                i
+            );
+            assert_eq!(
+                rx_b.recv_deadline(Duration::from_secs(5), &cancel).unwrap(),
+                1000 + i
+            );
+        }
+    }
+
+    #[test]
+    fn buffered_frames_survive_late_attach() {
+        let transport = MuxTransport::bind(fast_config()).unwrap();
+        let cancel = CancelToken::new();
+        let deadline = Duration::from_secs(5);
+        let l = link(5, 6, 2);
+        let tx = Transport::<u64>::connect_tx(&transport, l, deadline).unwrap();
+        for i in 0..10u64 {
+            tx.send(i).unwrap();
+        }
+        // Give the frames time to cross before the receiver exists.
+        std::thread::sleep(Duration::from_millis(100));
+        let rx = Transport::<u64>::connect_rx(&transport, l, deadline).unwrap();
+        for i in 0..10u64 {
+            assert_eq!(
+                rx.recv_deadline(Duration::from_secs(5), &cancel).unwrap(),
+                i
+            );
+        }
+    }
+
+    #[test]
+    fn link_bye_closes_only_that_link() {
+        let transport = MuxTransport::bind(fast_config()).unwrap();
+        let cancel = CancelToken::new();
+        let deadline = Duration::from_secs(5);
+        let dying = link(7, 8, 0);
+        let surviving = link(7, 8, 1);
+        let tx_dying = Transport::<u64>::connect_tx(&transport, dying, deadline).unwrap();
+        let tx_surviving = Transport::<u64>::connect_tx(&transport, surviving, deadline).unwrap();
+        let rx_dying = Transport::<u64>::connect_rx(&transport, dying, deadline).unwrap();
+        let rx_surviving = Transport::<u64>::connect_rx(&transport, surviving, deadline).unwrap();
+        tx_dying.send(1).unwrap();
+        assert_eq!(
+            rx_dying
+                .recv_deadline(Duration::from_secs(5), &cancel)
+                .unwrap(),
+            1
+        );
+        drop(tx_dying); // enqueues the LinkBye
+        let err = rx_dying
+            .recv_deadline(Duration::from_secs(5), &cancel)
+            .unwrap_err();
+        assert!(matches!(err, NetError::Closed), "got {err}");
+        // The sibling link on the same session is unaffected.
+        tx_surviving.send(2).unwrap();
+        assert_eq!(
+            rx_surviving
+                .recv_deadline(Duration::from_secs(5), &cancel)
+                .unwrap(),
+            2
+        );
+        assert_eq!(transport.session_count(), 2);
+    }
+
+    #[test]
+    fn silent_raw_peer_fans_peer_dead_to_every_link() {
+        // A hand-rolled peer that completes the preamble and then goes
+        // silent: every link attached to that session must observe
+        // PeerDead, not just one.
+        let config = MuxConfig {
+            heartbeat_interval: Duration::from_millis(10),
+            heartbeat_timeout: Duration::from_millis(120),
+            ..MuxConfig::default()
+        };
+        let transport = MuxTransport::bind(config).unwrap();
+        let cancel = CancelToken::new();
+        let deadline = Duration::from_secs(5);
+        // Local label 9 is `hi` of pair (2, 9): the remote end dials us.
+        let raw = TcpStream::connect(transport.local_addr()).unwrap();
+        write_preamble(&raw, (2, 9), 2, &[]).unwrap();
+        let l_a = link(2, 9, 0);
+        let l_b = link(2, 9, 1);
+        let rx_a = Transport::<u64>::connect_rx(&transport, l_a, deadline).unwrap();
+        let rx_b = Transport::<u64>::connect_rx(&transport, l_b, deadline).unwrap();
+        let err_a = rx_a
+            .recv_deadline(Duration::from_secs(5), &cancel)
+            .unwrap_err();
+        let err_b = rx_b
+            .recv_deadline(Duration::from_secs(5), &cancel)
+            .unwrap_err();
+        for err in [err_a, err_b] {
+            assert!(matches!(err, NetError::PeerDead { .. }), "got {err}");
+        }
+        drop(raw);
+    }
+
+    #[test]
+    fn corrupt_stream_kills_the_session() {
+        let transport = MuxTransport::bind(fast_config()).unwrap();
+        let cancel = CancelToken::new();
+        let deadline = Duration::from_secs(5);
+        let raw = TcpStream::connect(transport.local_addr()).unwrap();
+        write_preamble(&raw, (1, 9), 1, &[]).unwrap();
+        let rx = Transport::<u64>::connect_rx(&transport, link(1, 9, 0), deadline).unwrap();
+        // Garbage that parses as an absurd frame length.
+        (&raw).write_all(&[0xFF; 64]).unwrap();
+        let err = rx
+            .recv_deadline(Duration::from_secs(5), &cancel)
+            .unwrap_err();
+        assert!(matches!(err, NetError::Codec(_)), "got {err}");
+    }
+
+    #[test]
+    fn connect_rx_times_out_without_a_dialer() {
+        let transport = MuxTransport::bind(fast_config()).unwrap();
+        // Local label 5 is `hi` of (1, 5); nobody ever dials.
+        let err = match Transport::<u64>::connect_rx(
+            &transport,
+            link(1, 5, 0),
+            Duration::from_millis(200),
+        ) {
+            Ok(_) => panic!("connect_rx succeeded without a dialer"),
+            Err(err) => err,
+        };
+        assert!(matches!(err, NetError::Timeout { .. }), "got {err}");
+    }
+
+    #[test]
+    fn self_links_rejected() {
+        let transport = MuxTransport::bind(fast_config()).unwrap();
+        let err =
+            match Transport::<u64>::connect_tx(&transport, link(3, 3, 0), Duration::from_secs(1)) {
+                Ok(_) => panic!("self-link connect_tx succeeded"),
+                Err(err) => err,
+            };
+        assert!(matches!(err, NetError::Io(_)), "got {err}");
+    }
+
+    #[test]
+    fn heartbeats_keep_an_idle_session_alive() {
+        let config = MuxConfig {
+            heartbeat_interval: Duration::from_millis(10),
+            heartbeat_timeout: Duration::from_millis(150),
+            ..MuxConfig::default()
+        };
+        let transport = MuxTransport::bind(config).unwrap();
+        let cancel = CancelToken::new();
+        let deadline = Duration::from_secs(5);
+        let l = link(11, 12, 0);
+        let tx = Transport::<u64>::connect_tx(&transport, l, deadline).unwrap();
+        let rx = Transport::<u64>::connect_rx(&transport, l, deadline).unwrap();
+        // Stay idle well past the heartbeat timeout, then exchange.
+        std::thread::sleep(Duration::from_millis(600));
+        tx.send(42).unwrap();
+        assert_eq!(
+            rx.recv_deadline(Duration::from_secs(5), &cancel).unwrap(),
+            42
+        );
+    }
+}

@@ -50,9 +50,32 @@ use crate::timer::{Timer, TimerKind, TimerWheel};
 use crate::wire::{from_bytes, Wire};
 use crate::{Backoff, CancelToken, LinkId, LinkRx, LinkTx, NetError, PollSlices, Transport};
 
-/// First idle-sleep slice; doubles per idle pass up to
-/// [`ReactorConfig::idle_sleep_max`].
+/// Default first idle-sleep slice; doubles per idle pass up to
+/// [`ReactorConfig::idle_sleep_max`]. Overridable at runtime via
+/// [`ReactorConfig::idle_sleep_min`] or the `AOFT_REACTOR_IDLE_US` env knob.
 const IDLE_SLEEP_MIN: Duration = Duration::from_micros(500);
+
+/// Reads the `AOFT_REACTOR_IDLE_US` env knob: `"<min_us>"` or
+/// `"<min_us>:<max_us>"` (microseconds). Returns the provided defaults when
+/// the variable is unset or malformed, and never lets the ramp invert
+/// (`max` is floored at `min`). Shared by the reactor and mux backends so
+/// soaks can sweep the latency/CPU trade-off without a rebuild.
+pub(crate) fn idle_ramp_from_env(
+    default_min: Duration,
+    default_max: Duration,
+) -> (Duration, Duration) {
+    let (mut min, mut max) = (default_min, default_max);
+    if let Ok(raw) = std::env::var("AOFT_REACTOR_IDLE_US") {
+        let mut parts = raw.splitn(2, ':');
+        if let Some(us) = parts.next().and_then(|p| p.trim().parse::<u64>().ok()) {
+            min = Duration::from_micros(us);
+        }
+        if let Some(us) = parts.next().and_then(|p| p.trim().parse::<u64>().ok()) {
+            max = Duration::from_micros(us);
+        }
+    }
+    (min, max.max(min))
+}
 
 /// Reads one reactor pass allows a single rx link before yielding to its
 /// siblings — bounds per-link monopoly of the pass, not throughput.
@@ -87,6 +110,10 @@ pub struct ReactorConfig {
     /// Frames a tx link queues before `send` blocks — the per-link
     /// backpressure bound.
     pub tx_queue_frames: usize,
+    /// First slice of the adaptive idle-sleep ramp; the ramp doubles from
+    /// here on every pass that makes no progress. Lower means lower
+    /// first-byte latency at higher idle CPU.
+    pub idle_sleep_min: Duration,
     /// Ceiling of the adaptive idle-sleep ramp; bounds first-byte latency
     /// after an idle period.
     pub idle_sleep_max: Duration,
@@ -94,6 +121,10 @@ pub struct ReactorConfig {
 
 impl Default for ReactorConfig {
     fn default() -> Self {
+        // `AOFT_REACTOR_IDLE_US=<min_us>[:<max_us>]` overrides the ramp
+        // bounds so soaks can sweep the latency/CPU trade-off.
+        let (idle_sleep_min, idle_sleep_max) =
+            idle_ramp_from_env(IDLE_SLEEP_MIN, Duration::from_millis(2));
         Self {
             reactors: 2,
             connect_timeout: Duration::from_secs(2),
@@ -103,7 +134,8 @@ impl Default for ReactorConfig {
             initial_backoff: Duration::from_millis(5),
             max_backoff: Duration::from_millis(200),
             tx_queue_frames: 1024,
-            idle_sleep_max: Duration::from_millis(2),
+            idle_sleep_min,
+            idle_sleep_max,
         }
     }
 }
@@ -548,7 +580,8 @@ impl ReactorCtx {
         let mut free: Vec<usize> = Vec::new();
         let mut next_gen: u64 = 0;
         let mut handshakes: Vec<Handshake> = Vec::new();
-        let mut idle_sleep = IDLE_SLEEP_MIN;
+        let idle_sleep_min = self.config.idle_sleep_min;
+        let mut idle_sleep = idle_sleep_min;
         let mut buf = [0u8; 8192];
         loop {
             reg.reactor_wakeups.inc();
@@ -695,7 +728,7 @@ impl ReactorCtx {
             // Sleep only when a full pass made no progress; never sleep
             // past the wheel's next obligation.
             if progress {
-                idle_sleep = IDLE_SLEEP_MIN;
+                idle_sleep = idle_sleep_min;
             } else {
                 let mut sleep = idle_sleep;
                 idle_sleep = (idle_sleep * 2).min(self.config.idle_sleep_max);
@@ -1041,7 +1074,9 @@ fn drain_to_sink(acc: &mut Vec<u8>, sink: &dyn RxSink) -> Drain {
                 }
             }
             Ok((FrameKind::Heartbeat, _)) => {}
-            Ok((FrameKind::Bye, _)) => {
+            // On a dedicated per-link socket a link close and a session
+            // close are the same event.
+            Ok((FrameKind::Bye | FrameKind::LinkBye, _)) => {
                 sink.fail(NetError::Closed);
                 break Drain::Stop;
             }

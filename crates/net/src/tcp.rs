@@ -528,7 +528,9 @@ fn drain_frames<M: Wire>(acc: &mut Vec<u8>, events: &Sender<Result<M, NetError>>
                 }
             },
             Ok((FrameKind::Heartbeat, _)) => {}
-            Ok((FrameKind::Bye, _)) => {
+            // On a dedicated per-link socket a link close and a session
+            // close are the same event.
+            Ok((FrameKind::Bye | FrameKind::LinkBye, _)) => {
                 let _ = events.send(Err(NetError::Closed));
                 break Drain::Stop;
             }

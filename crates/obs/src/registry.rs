@@ -253,6 +253,20 @@ pub struct Registry {
     /// histogram; 1 means no coalescing happened on that drain).
     pub reactor_frames_per_write: Histogram,
 
+    // --- multiplexed transport (aoft-net::mux) ---
+    /// Live multiplexed peer sessions (one per peer-pair session end).
+    pub mux_sessions: Gauge,
+    /// Frames coalesced into each mux vectored session write
+    /// (count-valued histogram across every link sharing the session).
+    pub mux_frames_per_write: Histogram,
+    /// Doorbell-to-drain latency: age in µs of the oldest frame in a mux
+    /// batch when its write starts.
+    pub mux_wake_latency: Histogram,
+    /// Frame bytes written per mux session (all links combined).
+    pub mux_bytes_sent: Family,
+    /// Bytes read from the socket per mux session.
+    pub mux_bytes_received: Family,
+
     // --- fleet router (aoft-svc::fleet) ---
     /// Cubes owned by the fleet router (actives + spares).
     pub fleet_cubes: Gauge,
@@ -309,6 +323,11 @@ impl Registry {
             reactor_wakeups: Counter::default(),
             reactor_tx_backpressure: Counter::default(),
             reactor_frames_per_write: Histogram::new(),
+            mux_sessions: Gauge::default(),
+            mux_frames_per_write: Histogram::new(),
+            mux_wake_latency: Histogram::new(),
+            mux_bytes_sent: Family::new("session"),
+            mux_bytes_received: Family::new("session"),
             fleet_cubes: Gauge::default(),
             fleet_jobs_routed: Family::new("cube"),
             fleet_cube_health: GaugeFamily::new("cube"),
@@ -560,6 +579,36 @@ impl Registry {
             "aoft_reactor_frames_per_write",
             "Frames coalesced into each vectored tx write.",
             &self.reactor_frames_per_write,
+        );
+        gauge(
+            &mut out,
+            "aoft_mux_sessions",
+            "Live multiplexed peer sessions.",
+            &self.mux_sessions,
+        );
+        count_histogram(
+            &mut out,
+            "aoft_mux_frames_per_write",
+            "Frames coalesced into each mux vectored session write.",
+            &self.mux_frames_per_write,
+        );
+        count_histogram(
+            &mut out,
+            "aoft_mux_wake_latency_us",
+            "Age in microseconds of the oldest frame in a mux batch at write time.",
+            &self.mux_wake_latency,
+        );
+        family(
+            &mut out,
+            "aoft_mux_bytes_sent_total",
+            "Frame bytes written per mux session.",
+            &self.mux_bytes_sent,
+        );
+        family(
+            &mut out,
+            "aoft_mux_bytes_received_total",
+            "Bytes read from the socket per mux session.",
+            &self.mux_bytes_received,
         );
         gauge(
             &mut out,

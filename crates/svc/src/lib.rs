@@ -49,10 +49,12 @@ mod job;
 mod metrics;
 mod queue;
 mod recovery;
+mod remote;
 mod service;
 
 pub use config::{ConfigError, SvcConfig};
 pub use fleet::{FleetConfig, FleetHandle, FleetMetrics, FleetReport, FleetRouter};
 pub use job::{JobError, JobHandle, JobId, JobReport, JobSpec, SubmitError};
 pub use metrics::SvcMetrics;
+pub use remote::{CubeHost, RemoteFleet, RemoteMsg, RemoteReport, PARENT_LABEL};
 pub use service::SortService;

@@ -197,13 +197,35 @@ fn backpressure_aggregates_across_every_cube() {
 /// model-level crash, and verify every single answer. `AOFT_BATCH_MAX`
 /// (default 16) sets each cube's micro-batcher width, so the soak also
 /// exercises coalesced composite-key attempts under sporadic faults; set it
-/// to 1 to soak the unbatched path. With `AOFT_SOAK_JOURNAL=<path>` the run
-/// also writes the observability event journal there, and with
-/// `AOFT_FLEET_SCRAPE=<path>` the final metrics scrape; nightly archives
-/// both as artifacts.
+/// to 1 to soak the unbatched path. `AOFT_FLEET_BACKEND` picks each cube's
+/// medium: `inproc` (default) or `mux` for loopback peer-pair TCP sessions,
+/// so nightly soaks the multiplexed transport under the same faulted
+/// stream. With `AOFT_SOAK_JOURNAL=<path>` the run also writes the
+/// observability event journal there, and with `AOFT_FLEET_SCRAPE=<path>`
+/// the final metrics scrape; nightly archives both as artifacts.
 #[test]
 #[ignore = "long-running fleet soak; nightly runs it via -- --ignored"]
 fn fleet_soak_streams_ten_thousand_jobs() {
+    let backend = std::env::var("AOFT_FLEET_BACKEND").unwrap_or_else(|_| "inproc".into());
+    match backend.as_str() {
+        "mux" => run_fleet_soak(|_| {
+            let transport = aoft::net::MuxTransport::bind(aoft::net::MuxConfig::default())?;
+            let addr = transport.local_addr();
+            for label in 0..(1u32 << DIM) {
+                transport.set_peer(label, addr);
+            }
+            Ok(transport)
+        }),
+        "inproc" => run_fleet_soak(|_| Ok(InProc::new())),
+        other => panic!("AOFT_FLEET_BACKEND={other} is not a soak backend (inproc | mux)"),
+    }
+}
+
+fn run_fleet_soak<T, F>(make_transport: F)
+where
+    T: aoft::sim::Transport<aoft::sim::Packet<aoft::sort::Msg>> + Send + Sync + 'static,
+    F: FnMut(usize) -> Result<T, aoft::net::NetError>,
+{
     let jobs: usize = std::env::var("AOFT_FLEET_JOBS")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -228,7 +250,7 @@ fn fleet_soak_streams_ten_thousand_jobs() {
         .recv_timeout(Duration::from_millis(300))
         .batch_max(batch_max)
         .batch_flush(Duration::from_millis(1));
-    let router = FleetRouter::start(FleetConfig::new(cube, 2).spares(1), |_| Ok(InProc::new()))
+    let router = FleetRouter::start(FleetConfig::new(cube, 2).spares(1), make_transport)
         .expect("fleet starts");
 
     let start = std::time::Instant::now();

@@ -1,0 +1,202 @@
+//! Acceptance tests for the multiplexed transport: the same `S_FT`
+//! schedule and service recovery as the per-link backends, but with one
+//! physical TCP session per *peer pair* — asserted against
+//! `/proc/self/fd`, not taken on faith.
+
+mod common;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use aoft::faults::{FaultyTransport, LinkFault};
+use aoft::net::{MuxConfig, MuxTransport};
+use aoft::sim::Transport;
+use aoft::sort::{Algorithm, SortBuilder, SortError};
+use aoft::svc::{JobSpec, SortService, SvcConfig};
+
+fn mux(nodes: u32) -> MuxTransport {
+    mux_with(nodes, MuxConfig::default())
+}
+
+fn mux_with(nodes: u32, config: MuxConfig) -> MuxTransport {
+    let transport = MuxTransport::bind(config).expect("bind loopback mux");
+    let addr = transport.local_addr();
+    for label in 0..nodes {
+        transport.set_peer(label, addr);
+    }
+    transport
+}
+
+fn builder(keys: Vec<i32>, nodes: usize) -> SortBuilder {
+    SortBuilder::new(Algorithm::FaultTolerant)
+        .keys(keys)
+        .nodes(nodes)
+        .recv_timeout(Duration::from_millis(800))
+}
+
+/// Open file descriptors in this process, via the kernel's own ledger.
+fn live_fds() -> Option<usize> {
+    std::fs::read_dir("/proc/self/fd")
+        .ok()
+        .map(|dir| dir.count())
+}
+
+/// `S_FT` sorts over the mux backend exactly as over the per-link ones.
+#[test]
+fn sft_sorts_d3_cube_over_mux() {
+    let keys: Vec<i32> = (0..32i32).map(|x| x.wrapping_mul(-97) % 50).collect();
+    let report = builder(keys.clone(), 8)
+        .run_on(mux(8))
+        .expect("clean mux run");
+    assert_eq!(report.output(), common::sorted(&keys).as_slice());
+    assert_eq!(report.blocks().len(), 8, "d=3 cube has 8 nodes");
+}
+
+/// The tentpole claim, measured: a d=6 cube has 384 directed links. The
+/// per-link backends open one TCP connection each — 384 connections, 768
+/// loopback fds. The mux backend opens one connection per *peer pair*:
+/// 192 connections, and the kernel's fd table proves it.
+#[test]
+fn d6_cube_uses_one_socket_per_peer_pair() {
+    let Some(base) = live_fds() else {
+        eprintln!("no /proc/self/fd on this platform; skipping");
+        return;
+    };
+
+    // Generous liveness margins, as in the reactor d=6 test: 64 compute
+    // threads on a small CI box can stall a servicer pass long enough for
+    // the default 500 ms silence window to fire spuriously.
+    let config = MuxConfig {
+        connect_timeout: Duration::from_secs(10),
+        heartbeat_interval: Duration::from_millis(100),
+        heartbeat_timeout: Duration::from_secs(30),
+        ..MuxConfig::default()
+    };
+    let transport = mux_with(64, config);
+
+    // Sample the fd count while the sort runs; keep the peak.
+    let stop = Arc::new(AtomicBool::new(false));
+    let sampler = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut peak = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                peak = peak.max(live_fds().unwrap_or(0));
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            peak
+        })
+    };
+
+    let keys: Vec<i32> = (0..128i32).map(|x| x.wrapping_mul(-61) % 400).collect();
+    let report = builder(keys.clone(), 64)
+        .recv_timeout(Duration::from_secs(10))
+        .run_on(transport)
+        .expect("clean d=6 mux run");
+    stop.store(true, Ordering::Relaxed);
+    let peak = sampler.join().expect("sampler joins");
+
+    assert_eq!(report.output(), common::sorted(&keys).as_slice());
+    assert_eq!(report.blocks().len(), 64, "d=6 cube has 64 nodes");
+
+    // A d=6 cube has 64·6/2 = 192 peer pairs. On loopback each pair's one
+    // connection holds two fds (both ends live in this process), plus the
+    // listener and harness slack. Per-link would be 384 connections.
+    let pairs = 64 * 6 / 2;
+    let extra = peak.saturating_sub(base);
+    let budget = 2 * pairs + 32;
+    assert!(
+        extra <= budget,
+        "fd peak {peak} (base {base}, extra {extra}) exceeds {budget}; \
+         socket count is not O(peer pairs)"
+    );
+    assert!(
+        extra < 2 * 384,
+        "extra {extra} is in socket-per-link territory (2·384 = 768)"
+    );
+}
+
+/// Session ends are O(peer pairs): every link of a pair, both directions
+/// and all tags, resolves to the same loopback session pair.
+#[test]
+fn session_count_is_per_pair_not_per_link() {
+    let transport = mux(4);
+    let deadline = Duration::from_secs(5);
+    let mut endpoints: Vec<Box<dyn aoft::net::LinkTx<u64>>> = Vec::new();
+    // 8 directed links across 2 peer pairs (0,1) and (2,3).
+    for (from, to) in [(0u32, 1u32), (1, 0), (2, 3), (3, 2)] {
+        for tag in 0..2u8 {
+            let link = aoft::net::LinkId { from, to, tag };
+            endpoints.push(
+                Transport::<u64>::connect_tx(&transport, link, deadline).expect("connect link"),
+            );
+        }
+    }
+    assert_eq!(
+        transport.session_count(),
+        4,
+        "2 peer pairs = 4 loopback session ends, regardless of link count"
+    );
+}
+
+/// A fail-silent peer over the mux backend fail-stops with receiver-side
+/// missing-message diagnostics — the identical contract the per-link
+/// backends honour (node death is a *logical* silence; the shared session
+/// stays up, so detection happens at the protocol layer, not the socket).
+#[test]
+fn killed_peer_fail_stops_with_error_report_over_mux() {
+    let keys: Vec<i32> = (0..32).collect();
+    let kill = LinkFault {
+        kill_after: Some(2),
+        ..LinkFault::default()
+    };
+    let faulty = FaultyTransport::new(mux(8), 3).fault_sender(5, kill);
+    match builder(keys, 8).run_on(faulty) {
+        Ok(_) => panic!("a silenced peer must not produce a sorted result"),
+        Err(SortError::Detected { reports, .. }) => {
+            assert!(!reports.is_empty(), "fail-stop must carry diagnostics");
+            assert!(
+                reports.iter().any(|r| r.detail.contains("no message")),
+                "reports should name the starved receive: {reports:?}"
+            );
+        }
+        Err(other) => panic!("expected Detected, got {other:?}"),
+    }
+}
+
+/// Full service recovery over the mux backend: a node dead from its first
+/// send is diagnosed, quarantined and retried around — and the sessions
+/// survive across attempts (that persistence is the transport's perf win).
+#[test]
+fn service_recovers_dead_node_over_mux() {
+    let kill = LinkFault {
+        kill_after: Some(0),
+        ..LinkFault::default()
+    };
+    let faulty = FaultyTransport::new(mux(8), 0xDEAD5).fault_sender(5, kill);
+    let config = SvcConfig::new(3)
+        .max_attempts(4)
+        .quarantine_after(1)
+        .backoff(Duration::from_millis(1), Duration::from_millis(20))
+        .recv_timeout(Duration::from_millis(800));
+    let service = SortService::start(config, faulty).expect("service starts");
+    let keys: Vec<i32> = (0..32i32).map(|x| x.wrapping_mul(-73) % 40).collect();
+    let report = service
+        .submit(JobSpec::new(keys.clone()))
+        .expect("admitted")
+        .wait()
+        .expect("recovers loudly, never silently wrong");
+    assert_eq!(report.output, common::sorted(&keys));
+    assert!(
+        report.recovered(),
+        "a dead-from-first-send node must cost at least one retry"
+    );
+    let metrics = service.metrics();
+    assert!(
+        metrics.quarantined.contains(&5),
+        "diagnosis must quarantine the dead node: {:?}",
+        metrics.quarantined
+    );
+    service.shutdown();
+}

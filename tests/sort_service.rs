@@ -214,6 +214,11 @@ fn metrics_endpoint_serves_prometheus_exposition() {
         "aoft_batch_flushes_total",
         "aoft_batch_jobs_coalesced_total",
         "aoft_reactor_frames_per_write",
+        "aoft_mux_sessions",
+        "aoft_mux_frames_per_write",
+        "aoft_mux_wake_latency_us",
+        "aoft_mux_bytes_sent_total",
+        "aoft_mux_bytes_received_total",
         "aoft_adv_mutations_total",
         "aoft_adv_drops_total",
         "aoft_buf_pool_leases_total",
@@ -236,6 +241,60 @@ fn metrics_endpoint_serves_prometheus_exposition() {
     assert!(
         samples["aoft_violations_total"] > 0.0 || samples["aoft_quarantine_total"] > 0.0,
         "the injected kill must surface as a Φ violation or a quarantine"
+    );
+    service.shutdown();
+}
+
+/// The mux transport's accounting, scraped off a live endpoint: session
+/// gauge, per-write coalescing and wake-latency histograms, and
+/// per-session byte counters all move when a job stream actually runs
+/// over multiplexed peer-pair sessions.
+#[test]
+fn mux_metrics_account_sessions_and_bytes() {
+    use aoft::net::{MuxConfig, MuxTransport};
+    let transport = MuxTransport::bind(MuxConfig::default()).expect("bind loopback mux");
+    let addr = transport.local_addr();
+    for label in 0..8 {
+        transport.set_peer(label, addr);
+    }
+    let config = SvcConfig::new(3)
+        .recv_timeout(Duration::from_millis(800))
+        .metrics_addr("127.0.0.1:0".parse().unwrap());
+    let service = SortService::start(config, transport).expect("service starts");
+    let endpoint = service.metrics_addr().expect("endpoint is enabled");
+    for index in 0..4i64 {
+        let keys = job_keys(900 + index);
+        let report = service
+            .submit(JobSpec::new(keys.clone()))
+            .expect("admit")
+            .wait()
+            .expect("clean mux job completes");
+        assert_eq!(report.output, common::sorted(&keys));
+    }
+    let text = aoft::obs::scrape(endpoint).expect("endpoint answers");
+    let samples = aoft::obs::prom::parse_samples(&text).expect("exposition parses");
+    // The registry is process-global, so assert activity (≥), not totals.
+    assert!(
+        samples["aoft_mux_bytes_sent_total"] > 0.0,
+        "mux sessions must account their tx bytes per session"
+    );
+    assert!(
+        samples["aoft_mux_bytes_received_total"] > 0.0,
+        "mux sessions must account their rx bytes per session"
+    );
+    // Histogram series fold into their family key, valued at `_count`.
+    assert!(
+        samples["aoft_mux_frames_per_write"] > 0.0,
+        "every vectored write must record its coalescing depth"
+    );
+    assert!(
+        samples["aoft_mux_wake_latency_us"] > 0.0,
+        "every drained frame must record its enqueue→write latency"
+    );
+    assert!(
+        text.lines()
+            .any(|l| l.starts_with("aoft_mux_bytes_sent_total{session=")),
+        "byte counters must be labelled per session"
     );
     service.shutdown();
 }
